@@ -1,0 +1,36 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/parser"
+	"repro/internal/workload"
+)
+
+// rangePartitionedSpec builds a PDMS whose stored relations partition a
+// single peer relation A:R by disjoint value ranges (the Section 4.3 /
+// Theorem 3.3 motif: "peers model the same type of data but are
+// distinguished on ranges of certain values"), with a query selecting a
+// range covered by exactly one partition. With unsat pruning on, the
+// reformulator touches one store; with it off, it enumerates all of them
+// and discards the unsatisfiable combinations at extraction.
+func rangePartitionedSpec(parts int) *workload.Workload {
+	src := ""
+	for i := 0; i < parts; i++ {
+		lo, hi := i*10, (i+1)*10
+		src += fmt.Sprintf("storage Part%d.s(x, y) in A:R(x, y), x >= %d, x < %d\n", i, lo, hi)
+	}
+	res, err := parser.Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	// A 3-atom chain over the partitioned relation: without pruning the
+	// extractor enumerates parts³ combinations and discards all but one as
+	// unsatisfiable; with pruning the tree itself stays narrow.
+	q, err := parser.ParseQuery(
+		`q(x, z) :- A:R(x, y), A:R(y, z), A:R(z, w), x >= 42, x < 44, y >= 42, y < 44, z >= 42, z < 44, w >= 42, w < 44`)
+	if err != nil {
+		panic(err)
+	}
+	return &workload.Workload{PDMS: res.PDMS, Data: res.Data, Query: q}
+}

@@ -1,0 +1,63 @@
+// Command peerd runs one peer's storage server: it loads the facts from a
+// PPL specification file and serves the stored relations over the
+// newline-delimited JSON/TCP peer protocol (see internal/wire), which the
+// distributed executor consumes.
+//
+// Usage:
+//
+//	peerd -addr 127.0.0.1:7410 spec.ppl
+//
+// peerd serves until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/netpeer"
+	"repro/internal/parser"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:0", "listen address")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: peerd [-addr host:port] spec.ppl")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *addr); err != nil {
+		fmt.Fprintln(os.Stderr, "peerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, addr string) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	res, err := parser.Parse(string(src))
+	if err != nil {
+		return fmt.Errorf("%s:%w", path, err)
+	}
+	srv := netpeer.NewServer(res.Data)
+	bound, err := srv.Start(addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("peerd: serving %d stored relations (%d facts) at %s\n",
+		len(res.Data.Relations()), res.Data.Size(), bound)
+	for _, pred := range res.Data.Relations() {
+		fmt.Printf("  %s (%d tuples)\n", pred, res.Data.Relation(pred).Len())
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("peerd: shutting down")
+	return nil
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunFigure2(t *testing.T) {
+	if err := run("../../testdata/figure2.ppl", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEmergency(t *testing.T) {
+	if err := run("../../testdata/emergency.ppl", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run("no-such-file.ppl", false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestRunFigure2WithExec(t *testing.T) {
+	if err := run("../../testdata/figure2.ppl", "", true, 0, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunQueryOverride(t *testing.T) {
+	if err := run("../../testdata/emergency.ppl",
+		`q(p) :- NineDC:SkilledPerson(p, "EMT")`, true, 0, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFirstK(t *testing.T) {
+	if err := run("../../testdata/emergency.ppl", "", false, 1, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTree(t *testing.T) {
+	if err := run("../../testdata/figure2.ppl", "", false, 0, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNoQueries(t *testing.T) {
+	if err := run("../../testdata/figure2.ppl", "bogus ::", false, 0, false); err == nil {
+		t.Fatal("bad -q accepted")
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run("nope.ppl", "", false, 0, false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

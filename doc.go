@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of "Schema Mediation in
+// Peer Data Management Systems" (Halevy, Ives, Suciu, Tatarinov; ICDE
+// 2003) — the Piazza PDMS schema-mediation layer.
+//
+// The public API lives in package repro/pdms; the root package holds the
+// benchmark harness that regenerates the paper's evaluation (Figures 3 and
+// 4, the node-rate claim, and the Section 4.3 optimization ablations). See
+// README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package repro

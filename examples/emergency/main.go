@@ -1,0 +1,132 @@
+// Emergency services: the paper's running example (Figure 1) — a PDMS
+// coordinating emergency response at the Oregon–Washington border. Hospitals
+// (FH, LH) and fire districts (PFD, VFD) store data; the Hospitals (H) and
+// Fire Services (FS) peers mediate their incompatible schemas; the 911
+// Dispatch Center (9DC, spelled NineDC here because identifiers cannot start
+// with a digit) unites everything. Then an earthquake strikes: the
+// Earthquake Command Center (ECC) joins ad hoc, and queries over the ECC
+// immediately reach every stored relation through transitive mappings —
+// Example 1.1's punchline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/pdms"
+)
+
+// The base network, before the earthquake.
+const baseSpec = `
+# ---- First Hospital: stored relations + LAV storage descriptions --------
+stored FH.doc(sid, last, loc)
+stored FH.sched(sid, start, end)
+storage FH.doc(sid, last, loc) in FH:Staff(sid, f, last, s, e), FH:Doctor(sid, loc)
+storage FH.sched(sid, s, e) in FH:Staff(sid, f, last, s, e), FH:Doctor(sid, loc)
+
+fact FH.doc("d07", "welby", "er")
+fact FH.doc("d12", "house", "icu")
+fact FH.sched("d07", "08:00", "16:00")
+
+# ---- Lakeview Hospital: LAV mappings to the H mediated schema -----------
+# (the paper's Example 2.2 LAV block)
+stored LH.critbed(bed, hosp, room, pid, status)
+storage LH.critbed(b, h, r, p, s) in H:CritBed(b, h, r), H:Patient(p, b, s)
+
+fact LH.critbed("c1", "lakeview", "301", "p9", "stable")
+fact LH.critbed("c2", "lakeview", "302", "p3", "critical")
+
+# ---- Hospitals mediator: GAV over member hospitals ----------------------
+define H:Doctor(sid, hosp, loc) :- FH:Doctor(sid, loc), FH:Hosp(hosp)
+define H:Doctor(sid, "first", loc) :- FH:Doctor(sid, loc)
+
+# ---- Fire Services: Portland + Vancouver districts -----------------------
+stored PFD.engine(vid, station, loc)
+stored PFD.fighter(sid, station, first, last)
+stored PFD.skills(sid, skill)
+storage PFD.engine(v, s, l) in PFD:Engine(v, s, l)
+storage PFD.fighter(s, st, f, l) in PFD:Firefighter(s, st, f, l)
+storage PFD.skills(s, k) in PFD:Skills(s, k)
+
+fact PFD.engine("e9", "station12", "nw")
+fact PFD.fighter("f1", "station12", "al", "jones")
+fact PFD.skills("f1", "medical")
+fact PFD.fighter("f2", "station12", "bo", "smith")
+fact PFD.skills("f2", "ladder")
+
+define FS:Engine(v, s, l) :- PFD:Engine(v, s, l)
+define FS:Firefighter(s, st, f, l) :- PFD:Firefighter(s, st, f, l)
+define FS:Skills(s, k) :- PFD:Skills(s, k)
+
+stored VFD.truck(vid, station, loc)
+storage VFD.truck(v, s, l) in VFD:Engine(v, s, l)
+fact VFD.truck("v4", "station3", "east")
+define FS:Engine(v, s, l) :- VFD:Engine(v, s, l)
+
+# ---- 911 Dispatch Center: the paper's Example 2.2 GAV block -------------
+define NineDC:SkilledPerson(p, "Doctor") :- H:Doctor(p, h, l)
+define NineDC:SkilledPerson(p, "EMT") :- FS:Skills(p, "medical")
+define NineDC:Vehicle(v, loc) :- FS:Engine(v, s, loc)
+`
+
+// The ad hoc extension when the earthquake hits (the dashed ellipse of
+// Figure 1): the ECC maps to the existing 9DC, and transitively reaches
+// every hospital and fire-district store.
+const earthquakeSpec = `
+include NineDC:SkilledPerson(p, c) in ECC:SkilledPerson(p, c, w)
+include NineDC:Vehicle(v, l) in ECC:Vehicle(v, "engine", l)
+`
+
+func main() {
+	net, err := pdms.Load(baseSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := net.Stats()
+	fmt.Printf("base network: %d peers, %d mappings, %d storage descriptions\n\n",
+		st.Peers, st.Inclusions+st.Equalities+st.Definitional, st.StorageDescrs)
+
+	// Query the dispatch center: who has medical skills anywhere?
+	show(net, "9DC skilled people",
+		`q(p, c) :- NineDC:SkilledPerson(p, c)`)
+
+	// Before the earthquake, the ECC does not exist.
+	if _, err := net.Query(`q(p) :- ECC:SkilledPerson(p, c, w)`); err == nil {
+		log.Fatal("ECC should be unknown before the earthquake")
+	}
+	fmt.Println("ECC is not yet part of the PDMS — extending ad hoc …")
+
+	// Earthquake: the ECC joins with two mapping statements. No schema
+	// redesign, no downtime for other peers.
+	if err := net.Extend(earthquakeSpec); err != nil {
+		log.Fatal(err)
+	}
+
+	// Queries over the brand-new ECC peer transparently reach the
+	// hospitals' and fire districts' stored relations via 9DC, H and FS.
+	show(net, "ECC skilled people (transitively through 9DC)",
+		`q(p, c) :- ECC:SkilledPerson(p, c, w)`)
+	show(net, "ECC vehicles", `q(v, l) :- ECC:Vehicle(v, t, l)`)
+
+	ref, err := net.Reformulate(`q(p, c) :- ECC:SkilledPerson(p, c, w)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ECC reformulation details: %d rule-goal nodes, %d rewritings, %s\n",
+		ref.Stats.Nodes(), ref.Rewriting.Len(), ref.Classification.Class)
+}
+
+func show(net *pdms.Network, title, query string) {
+	rows, err := net.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s:\n", title)
+	if len(rows) == 0 {
+		fmt.Println("  (no certain answers)")
+	}
+	for _, r := range rows {
+		fmt.Printf("  %s\n", r)
+	}
+	fmt.Println()
+}

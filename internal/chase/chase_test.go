@@ -1,0 +1,238 @@
+package chase
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/rel"
+)
+
+// parse is a test helper that parses a spec and fails on error.
+func parse(t *testing.T, src string) *parser.Result {
+	t.Helper()
+	res, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func answers(t *testing.T, src, query string) []rel.Tuple {
+	t.Helper()
+	res := parse(t, src)
+	q, err := parser.ParseQuery(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := CertainAnswers(res.PDMS, res.Data, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestChaseGAVUnfolding(t *testing.T) {
+	// Stored doc feeds peer relation via storage description; definitional
+	// mapping lifts it to another peer.
+	src := `
+storage FH.doc(s, l) in FH:Doctor(s, l)
+define H:Doctor(s, l) :- FH:Doctor(s, l)
+fact FH.doc("d1", "er")
+fact FH.doc("d2", "icu")
+`
+	rows := answers(t, src, `q(s) :- H:Doctor(s, l)`)
+	if len(rows) != 2 || rows[0][0] != "d1" || rows[1][0] != "d2" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestChaseLAVExistentials(t *testing.T) {
+	// LAV storage: stored relation is a join projection; existential values
+	// become nulls and must not appear in answers.
+	src := `
+storage LH.beds(b, p) in H:CritBed(b, h, r), H:Patient(p, b, st)
+fact LH.beds("b1", "p1")
+`
+	// Bed ids are certain.
+	rows := answers(t, src, `q(b) :- H:CritBed(b, h, r)`)
+	if len(rows) != 1 || rows[0][0] != "b1" {
+		t.Fatalf("bed rows = %v", rows)
+	}
+	// Hospital values are nulls: no certain answers.
+	rows = answers(t, src, `q(h) :- H:CritBed(b, h, r)`)
+	if len(rows) != 0 {
+		t.Fatalf("hospital rows = %v (nulls leaked)", rows)
+	}
+	// Join across the two head atoms is preserved.
+	rows = answers(t, src, `q(b, p) :- H:CritBed(b, h, r), H:Patient(p, b, st)`)
+	if len(rows) != 1 || rows[0][1] != "p1" {
+		t.Fatalf("join rows = %v", rows)
+	}
+}
+
+func TestChaseTransitivePeerMappings(t *testing.T) {
+	// Chain of inclusions across three peers (the PDMS "transitive
+	// relationships" capability of Example 1.1).
+	src := `
+storage C.data(x) in C:R(x)
+include C:R(x) in B:S(x)
+include B:S(x) in A:T(x)
+fact C.data("v1")
+`
+	rows := answers(t, src, `q(x) :- A:T(x)`)
+	if len(rows) != 1 || rows[0][0] != "v1" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestChaseReplicationEquality(t *testing.T) {
+	// Projection-free equality (the paper's ECC/9DC Vehicle replication):
+	// cyclic but chase terminates with no nulls.
+	src := `
+storage D.veh(v, g) in DC:Vehicle(v, g)
+equal ECC:Vehicle(v, g) and DC:Vehicle(v, g)
+fact D.veh("v7", "gps1")
+`
+	res := parse(t, src)
+	inst, err := Chase(res.PDMS, res.Data, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Nulls(inst) != 0 {
+		t.Fatalf("replication chase created %d nulls", Nulls(inst))
+	}
+	rows := answers(t, src, `q(v) :- ECC:Vehicle(v, g)`)
+	if len(rows) != 1 || rows[0][0] != "v7" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestChaseDefinitionalDisjunction(t *testing.T) {
+	// P defined by two rules = union (Section 2.1.2).
+	src := `
+storage S.a(x) in A:P1(x)
+storage S.b(x) in A:P2(x)
+define A:P(x) :- A:P1(x)
+define A:P(x) :- A:P2(x)
+fact S.a("1")
+fact S.b("2")
+`
+	rows := answers(t, src, `q(x) :- A:P(x)`)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestChaseDefinitionalComparison(t *testing.T) {
+	src := `
+storage S.n(x) in A:N(x)
+define A:Big(x) :- A:N(x), x > 5
+fact S.n("3")
+fact S.n("9")
+`
+	rows := answers(t, src, `q(x) :- A:Big(x)`)
+	if len(rows) != 1 || rows[0][0] != "9" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestChaseRejectsProjectionEquality(t *testing.T) {
+	src := `
+storage S.r(x, y) in A:R(x, y)
+equal A:R(x, y) and B:S(x)
+fact S.r("1", "2")
+`
+	res := parse(t, src)
+	_, err := Chase(res.PDMS, res.Data, Options{})
+	if err == nil || !strings.Contains(err.Error(), "co-NP") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestChaseRejectsComparisonInInclusion(t *testing.T) {
+	src := `
+storage S.r(x) in A:R(x)
+include A:R(x), x > 3 in B:S(x)
+fact S.r("5")
+`
+	res := parse(t, src)
+	_, err := Chase(res.PDMS, res.Data, Options{})
+	if err == nil || !strings.Contains(err.Error(), "unsupported") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestChaseStandardChaseNoNullBloat(t *testing.T) {
+	// The head-satisfaction check must prevent refiring on already
+	// satisfied matches: chase twice, same result.
+	src := `
+storage S.r(x) in A:R(x, y)
+fact S.r("1")
+`
+	res := parse(t, src)
+	inst1, err := Chase(res.PDMS, res.Data, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Nulls(inst1) != 1 {
+		t.Fatalf("expected exactly one null, got %d:\n%s", Nulls(inst1), inst1)
+	}
+}
+
+func TestChaseRoundCap(t *testing.T) {
+	// A pathological self-feeding spec: A:R(x,y) ⊆ A:R(y,z) keeps creating
+	// nulls. The round cap must trip rather than hang. (This spec is cyclic
+	// — outside the decidable fragment — which is exactly what the cap is
+	// for.)
+	src := `
+storage S.r(x, y) in A:R(x, y)
+include A:R(x, y) in A:R(y, z)
+fact S.r("a", "b")
+`
+	res := parse(t, src)
+	_, err := Chase(res.PDMS, res.Data, Options{MaxRounds: 5})
+	if err == nil {
+		// The standard-chase head check may actually terminate this one
+		// (satisfied by reusing existing facts); accept either outcome but
+		// require no hang. Nothing to assert in that case.
+		return
+	}
+	if !strings.Contains(err.Error(), "fixpoint") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestChaseEmptyData(t *testing.T) {
+	src := `
+storage S.r(x) in A:R(x)
+include A:R(x) in B:S(x)
+`
+	rows := answers(t, src, `q(x) :- B:S(x)`)
+	if len(rows) != 0 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestChaseConstantInMappingHead(t *testing.T) {
+	// Definitional mapping tagging a constant (paper's SkilledPerson
+	// "Doctor"/"EMT" example).
+	src := `
+storage H.doc(s) in H:Doctor(s)
+define DC:Skilled(s, "Doctor") :- H:Doctor(s)
+fact H.doc("d1")
+`
+	rows := answers(t, src, `q(s, c) :- DC:Skilled(s, c)`)
+	if len(rows) != 1 || rows[0][1] != "Doctor" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestIsNull(t *testing.T) {
+	if IsNull("ordinary") || IsNull("") {
+		t.Fatal("false positive")
+	}
+	if !IsNull(nullPrefix + "1") {
+		t.Fatal("false negative")
+	}
+}

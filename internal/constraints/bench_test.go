@@ -1,0 +1,60 @@
+package constraints
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/lang"
+)
+
+// chainSet builds x0 < x1 < … < xn with a few constants mixed in.
+func chainSet(n int) *Set {
+	s := New()
+	for i := 0; i < n; i++ {
+		s.Add(lang.Comparison{
+			Op: lang.OpLT,
+			L:  lang.Var(fmt.Sprintf("x%d", i)),
+			R:  lang.Var(fmt.Sprintf("x%d", i+1)),
+		})
+	}
+	s.Add(lang.Comparison{Op: lang.OpGE, L: lang.Var("x0"), R: lang.Const("0")})
+	s.Add(lang.Comparison{Op: lang.OpLE, L: lang.Var(fmt.Sprintf("x%d", n)), R: lang.Const("100")})
+	return s
+}
+
+func BenchmarkSatisfiableChain(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := chainSet(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !s.Satisfiable() {
+					b.Fatal("chain should be satisfiable")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkImplies(b *testing.B) {
+	s := chainSet(16)
+	c := lang.Comparison{Op: lang.OpLT, L: lang.Var("x0"), R: lang.Var("x16")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.Implies(c) {
+			b.Fatal("chain should imply endpoints ordered")
+		}
+	}
+}
+
+func BenchmarkProject(b *testing.B) {
+	s := chainSet(12)
+	keep := []lang.Term{lang.Var("x0"), lang.Var("x12")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := s.Project(keep)
+		if p.Len() == 0 {
+			b.Fatal("projection lost everything")
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package containment implements conjunctive-query containment via
+// containment mappings (the classical Chandra–Merlin technique), query
+// minimization, and union-of-CQ containment.
+//
+// The reformulation engine uses containment to discard redundant rewritings
+// (a produced conjunctive rewriting that is contained in another contributes
+// no new certain answers), and the test suite uses it to compare reformulated
+// queries against expected ones.
+//
+// For queries with comparison predicates the test is sound but not complete
+// (completeness would require case analysis over linear orders, which is
+// Π²ₚ-hard); a sound test is exactly what redundancy elimination needs: we
+// only drop a rewriting when containment is certain.
+package containment
+
+import (
+	"repro/internal/constraints"
+	"repro/internal/lang"
+)
+
+// Contains reports whether q2 contains q1 (q1 ⊆ q2): every answer of q1 on
+// every instance is an answer of q2. Decided by searching for a containment
+// mapping from q2 into q1 that preserves the head, and (when comparisons are
+// present) checking that q1's constraints imply the image of q2's.
+func Contains(q1, q2 lang.CQ) bool {
+	if q1.Head.Arity() != q2.Head.Arity() {
+		return false
+	}
+	// Rename q2 apart from q1: a containment mapping treats q1's variables
+	// as rigid (they are the canonical-database constants), so sharing
+	// names across the two queries would corrupt the search. Plain Fresh
+	// names are used (not FreshLike): suffix-preserving names from a new
+	// supply could collide with "#"-suffixed variables another supply
+	// produced — e.g. in rewritings from the reformulation engine.
+	ren := lang.NewSubst()
+	vs := lang.NewVarSupply("_cm")
+	for _, v := range q2.Vars() {
+		ren[v.Name] = vs.Fresh()
+	}
+	q2 = q2.Apply(ren)
+	// The mapping must send q2's head to q1's head.
+	base, ok := lang.Match(q2.Head, q1.Head, nil)
+	if !ok {
+		// Heads may differ in predicate name when comparing rewritings of
+		// the same logical query; retry ignoring the head predicate name.
+		h2 := q2.Head
+		h2.Pred = q1.Head.Pred
+		base, ok = lang.Match(h2, q1.Head, nil)
+		if !ok {
+			return false
+		}
+	}
+	c1 := constraints.New(q1.Comps...)
+	if !c1.Satisfiable() {
+		return true // q1 is empty, contained in everything
+	}
+	return findMapping(q2.Body, q1.Body, base, func(s lang.Subst) bool {
+		// Constraint side-condition: c(q1) must imply s(c(q2)).
+		for _, c := range q2.Comps {
+			if !c1.Implies(s.ApplyComparison(c)) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// Equivalent reports mutual containment.
+func Equivalent(q1, q2 lang.CQ) bool {
+	return Contains(q1, q2) && Contains(q2, q1)
+}
+
+// findMapping searches for an extension of base mapping every atom of from
+// onto some atom of onto (variables of onto are rigid), subject to accept.
+func findMapping(from, onto []lang.Atom, base lang.Subst, accept func(lang.Subst) bool) bool {
+	var rec func(i int, s lang.Subst) bool
+	rec = func(i int, s lang.Subst) bool {
+		if i == len(from) {
+			return accept(s)
+		}
+		// Pass the original atom: Match applies s itself and only binds
+		// variables of the un-substituted pattern, keeping target-side
+		// variables rigid (pre-applying s here would let bound-to rigid
+		// variables masquerade as bindable pattern variables).
+		for _, tgt := range onto {
+			if s2, ok := lang.Match(from[i], tgt, s); ok {
+				if rec(i+1, s2) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return rec(0, base)
+}
+
+// Minimize returns an equivalent query with a minimal body (the core): it
+// repeatedly tries to drop a body atom, keeping the drop whenever the
+// reduced query still contains the original. Comparison predicates are kept
+// verbatim. The head is unchanged.
+func Minimize(q lang.CQ) lang.CQ {
+	cur := q.Clone()
+	for changed := true; changed; {
+		changed = false
+		for i := range cur.Body {
+			if len(cur.Body) == 1 {
+				break
+			}
+			reduced := cur.Clone()
+			reduced.Body = append(reduced.Body[:i], reduced.Body[i+1:]...)
+			if !reduced.IsSafe() {
+				continue
+			}
+			// reduced has fewer atoms so cur ⊆ reduced always; the drop is
+			// sound when reduced ⊆ cur too.
+			if Contains(reduced, cur) {
+				cur = reduced
+				changed = true
+				break
+			}
+		}
+	}
+	return cur
+}
+
+// ContainsUCQ reports whether the union u2 contains the union u1:
+// every disjunct of u1 must be contained in some disjunct of u2 (this
+// criterion is sound and complete for UCQs without comparisons, by
+// Sagiv–Yannakakis).
+func ContainsUCQ(u1, u2 lang.UCQ) bool {
+	for _, d1 := range u1.Disjuncts {
+		found := false
+		for _, d2 := range u2.Disjuncts {
+			if Contains(d1, d2) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// RemoveRedundant drops every disjunct of u that is contained in another
+// (retained) disjunct, returning a minimal equivalent union. Deterministic:
+// earlier disjuncts win ties.
+func RemoveRedundant(u lang.UCQ) lang.UCQ {
+	var out lang.UCQ
+	for i, d := range u.Disjuncts {
+		redundant := false
+		for j, e := range u.Disjuncts {
+			if i == j {
+				continue
+			}
+			if Contains(d, e) {
+				// Tie-break mutual containment by index.
+				if Contains(e, d) && i < j {
+					continue
+				}
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			out.Add(d)
+		}
+	}
+	if out.Len() == 0 && u.Len() > 0 {
+		out.Add(u.Disjuncts[0])
+	}
+	return out
+}

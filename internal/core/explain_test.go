@@ -1,0 +1,65 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+)
+
+func TestExplainTreeFigure2(t *testing.T) {
+	src := `
+define FS:SameEngine(f1, f2, e) :- FS:AssignedTo(f1, e), FS:AssignedTo(f2, e)
+include FS:SameSkill(f1, f2) in FS:Skill(f1, s), FS:Skill(f2, s)
+storage FS.S1(f, e, s) in FS:AssignedTo(f, e), FS:Sched(f, st, s)
+storage FS.S2(f1, f2) = FS:SameSkill(f1, f2)
+`
+	r, _ := setup(t, src, Options{})
+	q, err := parser.ParseQuery(`q(f1, f2) :- FS:SameEngine(f1, f2, e), FS:Skill(f1, s), FS:Skill(f2, s)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.ExplainTree(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"rule query",
+		"goal FS:SameEngine(f1, f2, e)",
+		"unc={",          // inclusion expansion carries its covered uncles
+		"[stored]",       // leaves over FS.S1/FS.S2
+		"goal FS:Skill(", // LAV-expanded subgoal
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ExplainTree output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainTreeTruncates(t *testing.T) {
+	src := `
+storage S.a(x) in A:R(x)
+storage S.b(x) in A:R(x)
+storage S.c(x) in A:R(x)
+`
+	r, _ := setup(t, src, Options{})
+	q, err := parser.ParseQuery(`q(x) :- A:R(x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.ExplainTree(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "truncated") {
+		t.Fatalf("truncation marker missing:\n%s", out)
+	}
+}
+
+func TestExplainTreeRejectsBadQuery(t *testing.T) {
+	r, _ := setup(t, `storage S.a(x) in A:R(x)`, Options{})
+	q, _ := parser.ParseQuery(`q(x) :- Zz:Top(x)`)
+	if _, err := r.ExplainTree(q, 0); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+}

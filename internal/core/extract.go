@@ -1,0 +1,234 @@
+package core
+
+import (
+	"repro/internal/constraints"
+	"repro/internal/lang"
+)
+
+// partial is an in-progress conjunctive rewriting during step-3 extraction:
+// stored-relation atoms collected from leaves, accumulated comparison
+// predicates, and the composition of MCD export substitutions.
+type partial struct {
+	atoms  []lang.Atom
+	comps  []lang.Comparison
+	export lang.Subst
+}
+
+func emptyPartial() partial {
+	return partial{export: lang.NewSubst()}
+}
+
+// merge combines two partials; ok is false when their exports conflict.
+func (p partial) merge(q partial) (partial, bool) {
+	out := partial{
+		atoms:  append(append([]lang.Atom{}, p.atoms...), q.atoms...),
+		comps:  append(append([]lang.Comparison{}, p.comps...), q.comps...),
+		export: p.export.Clone(),
+	}
+	for k, v := range q.export {
+		if !out.export.Bind(k, v) {
+			return partial{}, false
+		}
+	}
+	return out, true
+}
+
+// withAtom returns p extended with one leaf atom.
+func (p partial) withAtom(a lang.Atom) partial {
+	return partial{
+		atoms:  append(append([]lang.Atom{}, p.atoms...), a),
+		comps:  p.comps,
+		export: p.export,
+	}
+}
+
+// extract enumerates the conjunctive rewritings of the tree rooted at root
+// (built for query q), invoking yield for each; yield returning false stops
+// the enumeration. Each rewriting's body refers only to stored relations.
+func (b *builder) extract(root *node, q lang.CQ, yield func(lang.CQ) bool) {
+	queryRule := root.children[0]
+	b.coverRule(queryRule, func(p partial) bool {
+		return b.emit(q, p, yield)
+	})
+}
+
+// emit finalizes one full cover into a conjunctive rewriting, filtering
+// unsatisfiable combinations, and forwards it to yield. Returns false to
+// stop enumeration.
+func (b *builder) emit(q lang.CQ, p partial, yield func(lang.CQ) bool) bool {
+	head := p.export.ApplyAtom(q.Head)
+	body := make([]lang.Atom, len(p.atoms))
+	for i, a := range p.atoms {
+		body[i] = p.export.ApplyAtom(a)
+	}
+	comps := p.export.ApplyComparisons(p.comps)
+	// All accumulated comparisons participate in the satisfiability check …
+	if len(comps) > 0 && !constraints.New(comps...).Satisfiable() {
+		b.stats.DiscardUnsat++
+		return true
+	}
+	// … but only those over variables visible in the rewriting (or ground)
+	// can be carried into the output; the rest constrain view-internal
+	// values that the stored data satisfies by construction.
+	visible := map[string]bool{}
+	for _, v := range head.Vars(nil) {
+		visible[v.Name] = true
+	}
+	for _, a := range body {
+		for _, v := range a.Vars(nil) {
+			visible[v.Name] = true
+		}
+	}
+	var kept []lang.Comparison
+	for _, c := range comps {
+		if (c.L.IsConst() || visible[c.L.Name]) && (c.R.IsConst() || visible[c.R.Name]) {
+			kept = append(kept, c)
+		}
+	}
+	out := lang.CQ{Head: head, Body: body, Comps: kept}
+	if !out.IsSafe() {
+		// Defensive: required-variable tracking should prevent this; an
+		// unsafe rewriting cannot be evaluated, so drop it.
+		b.stats.DiscardUnsat++
+		return true
+	}
+	b.stats.Rewritings++
+	return yield(out)
+}
+
+// solveGoal enumerates the partial solutions of a single goal node standing
+// alone (stored leaf or any of its expansions).
+func (b *builder) solveGoal(n *node, yield func(partial) bool) bool {
+	if n.stored {
+		return yield(emptyPartial().withAtom(n.label))
+	}
+	if n.dead {
+		return true
+	}
+	for _, rn := range n.children {
+		if !b.solveRule(rn, yield) {
+			return false
+		}
+	}
+	return true
+}
+
+// solveRule enumerates the partial solutions of one rule node.
+//
+// Inclusion-expansion rule nodes have a single V-goal child; their solutions
+// are that child's solutions extended with the node's comparisons and MCD
+// export. Definitional (and query) rule nodes require a full cover of their
+// children (coverRule).
+func (b *builder) solveRule(rn *node, yield func(partial) bool) bool {
+	if len(rn.unc) > 0 {
+		gn := rn.children[0]
+		return b.solveGoal(gn, func(p partial) bool {
+			p2 := partial{
+				atoms:  p.atoms,
+				comps:  append(append([]lang.Comparison{}, p.comps...), rn.comps...),
+				export: p.export,
+			}
+			if len(rn.export) > 0 {
+				merged := p2.export.Clone()
+				for k, v := range rn.export {
+					if !merged.Bind(k, v) {
+						return true // conflicting exports: skip combination
+					}
+				}
+				p2.export = merged
+			}
+			return yield(p2)
+		})
+	}
+	return b.coverRule(rn, yield)
+}
+
+// coverage returns the goal nodes a resolver rule node covers: its unc label
+// for inclusion expansions (which always includes its own parent goal), or
+// just its parent for definitional expansions.
+func coverage(cr *node) []*node {
+	if len(cr.unc) > 0 {
+		return cr.unc
+	}
+	return []*node{cr.parent}
+}
+
+// coverRule enumerates the ways to cover ALL goal children of a definitional
+// (or query) rule node, per step 3 of Section 4.2: pick for the first
+// uncovered child a resolver — the child's own stored leaf, one of its rule
+// children, or a sibling's inclusion expansion whose unc label covers it —
+// and recurse. Every resolver set is enumerated exactly once because each
+// resolver is chosen at its first-in-order uncovered goal.
+func (b *builder) coverRule(rn *node, yield func(partial) bool) bool {
+	children := rn.children
+	base := emptyPartial()
+	base.comps = append(base.comps, rn.comps...)
+	for k, v := range rn.export {
+		base.export[k] = v
+	}
+
+	covered := make(map[*node]bool, len(children))
+	var rec func(acc partial, yield func(partial) bool) bool
+	rec = func(acc partial, yield func(partial) bool) bool {
+		var next *node
+		for _, c := range children {
+			if !covered[c] {
+				next = c
+				break
+			}
+		}
+		if next == nil {
+			return yield(acc)
+		}
+		if next.stored {
+			covered[next] = true
+			ok := rec(acc.withAtom(next.label), yield)
+			covered[next] = false
+			return ok
+		}
+		// Candidate resolvers: any rule child of any sibling (including
+		// next itself) whose coverage includes next.
+		for _, sib := range children {
+			for _, cr := range sib.children {
+				includesNext := false
+				for _, u := range coverage(cr) {
+					if u == next {
+						includesNext = true
+						break
+					}
+				}
+				if !includesNext {
+					continue
+				}
+				// Newly covered goals (covering an already-covered goal
+				// again would be redundant — Remark 4.1 tolerates it, we
+				// avoid it).
+				var newly []*node
+				for _, u := range coverage(cr) {
+					if !covered[u] {
+						newly = append(newly, u)
+					}
+				}
+				ok := b.solveRule(cr, func(p partial) bool {
+					merged, mok := acc.merge(p)
+					if !mok {
+						return true
+					}
+					for _, u := range newly {
+						covered[u] = true
+					}
+					cont := rec(merged, yield)
+					for _, u := range newly {
+						covered[u] = false
+					}
+					return cont
+				})
+				if !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return rec(base, yield)
+}

@@ -1,0 +1,200 @@
+package lang
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Subst is a substitution from variable names to terms. Applying a
+// substitution replaces each variable with its image; unbound variables are
+// left untouched. Substitutions are not required to be idempotent in general,
+// but unification produces idempotent most-general unifiers.
+type Subst map[string]Term
+
+// NewSubst returns an empty substitution.
+func NewSubst() Subst { return make(Subst) }
+
+// Clone returns a copy of s.
+func (s Subst) Clone() Subst {
+	c := make(Subst, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// Bind adds the binding v -> t, returning false if v is already bound to a
+// different term.
+func (s Subst) Bind(v string, t Term) bool {
+	if old, ok := s[v]; ok {
+		return old == t
+	}
+	s[v] = t
+	return true
+}
+
+// Apply returns the image of a term under s (walking chains of variable
+// bindings to a fixed point).
+func (s Subst) Apply(t Term) Term {
+	for t.IsVar() {
+		next, ok := s[t.Name]
+		if !ok || next == t {
+			return t
+		}
+		t = next
+	}
+	return t
+}
+
+// ApplyAtom returns a copy of the atom with s applied to every argument.
+func (s Subst) ApplyAtom(a Atom) Atom {
+	out := Atom{Pred: a.Pred, Args: make([]Term, len(a.Args))}
+	for i, t := range a.Args {
+		out.Args[i] = s.Apply(t)
+	}
+	return out
+}
+
+// ApplyAtoms maps ApplyAtom over a slice.
+func (s Subst) ApplyAtoms(as []Atom) []Atom {
+	out := make([]Atom, len(as))
+	for i, a := range as {
+		out[i] = s.ApplyAtom(a)
+	}
+	return out
+}
+
+// ApplyComparison applies s to both sides of a comparison.
+func (s Subst) ApplyComparison(c Comparison) Comparison {
+	return Comparison{Op: c.Op, L: s.Apply(c.L), R: s.Apply(c.R)}
+}
+
+// ApplyComparisons maps ApplyComparison over a slice.
+func (s Subst) ApplyComparisons(cs []Comparison) []Comparison {
+	out := make([]Comparison, len(cs))
+	for i, c := range cs {
+		out[i] = s.ApplyComparison(c)
+	}
+	return out
+}
+
+// String renders the substitution deterministically, for debugging.
+func (s Subst) String() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s->%s", k, s[k].String())
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Unify computes a most-general unifier of atoms a and b, extending base
+// (which may be nil). It returns the extended substitution and true on
+// success, or nil and false if the atoms do not unify. base is not modified.
+func Unify(a, b Atom, base Subst) (Subst, bool) {
+	if a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+		return nil, false
+	}
+	s := base.Clone()
+	if s == nil {
+		s = NewSubst()
+	}
+	for i := range a.Args {
+		if !unifyTerm(s, a.Args[i], b.Args[i]) {
+			return nil, false
+		}
+	}
+	return s, true
+}
+
+func unifyTerm(s Subst, x, y Term) bool {
+	x, y = s.Apply(x), s.Apply(y)
+	switch {
+	case x == y:
+		return true
+	case x.IsVar():
+		s[x.Name] = y
+		return true
+	case y.IsVar():
+		s[y.Name] = x
+		return true
+	default: // distinct constants
+		return false
+	}
+}
+
+// Match computes a one-way matcher from pattern onto target: a substitution s
+// binding only variables of pattern such that s(pattern) == target. Variables
+// in target are treated as constants (they may be bound *to*, not bound).
+// base is not modified.
+func Match(pattern, target Atom, base Subst) (Subst, bool) {
+	if pattern.Pred != target.Pred || len(pattern.Args) != len(target.Args) {
+		return nil, false
+	}
+	s := base.Clone()
+	if s == nil {
+		s = NewSubst()
+	}
+	patVars := map[string]bool{}
+	for _, v := range pattern.Vars(nil) {
+		patVars[v.Name] = true
+	}
+	for i := range pattern.Args {
+		p := s.Apply(pattern.Args[i])
+		t := target.Args[i]
+		switch {
+		case p == t:
+		case p.IsVar() && patVars[p.Name]:
+			s[p.Name] = t
+		default:
+			return nil, false
+		}
+	}
+	return s, true
+}
+
+// VarSupply produces globally fresh variables. It is not safe for concurrent
+// use; each reformulation run owns its own supply.
+type VarSupply struct {
+	prefix string
+	n      int
+}
+
+// NewVarSupply returns a supply generating variables named prefix0, prefix1, …
+// The conventional prefix "_x" cannot collide with parsed user variables,
+// which may not start with '_'.
+func NewVarSupply(prefix string) *VarSupply {
+	if prefix == "" {
+		prefix = "_x"
+	}
+	return &VarSupply{prefix: prefix}
+}
+
+// Fresh returns the next fresh variable.
+func (vs *VarSupply) Fresh() Term {
+	t := Var(fmt.Sprintf("%s%d", vs.prefix, vs.n))
+	vs.n++
+	return t
+}
+
+// FreshLike returns a fresh variable whose name hints at the original (for
+// readable output), still guaranteed unique.
+func (vs *VarSupply) FreshLike(orig Term) Term {
+	base := orig.Name
+	if i := strings.IndexByte(base, '#'); i >= 0 {
+		base = base[:i]
+	}
+	t := Var(fmt.Sprintf("%s#%d", base, vs.n))
+	vs.n++
+	return t
+}

@@ -1,0 +1,419 @@
+// Package minicon implements MiniCon descriptions (MCDs) — the core of
+// LAV-style answering-queries-using-views (Pottinger & Halevy, VLDB J.
+// 2001) — in the form the PDMS reformulation algorithm needs for its
+// inclusion expansions (Section 4.2, step 2, case 2 of the paper).
+//
+// Given a conjunction of goal atoms (the children of a rule node), a target
+// goal, and a view V(Ā) ⊆ body, an MCD records that an atom over V covers
+// the target goal and possibly some of its sibling ("uncle") goals, along
+// with the variable bindings that usage induces.
+//
+// The mapping underlying an MCD sends goal variables to view terms; the
+// view side is rigid. Two view HEAD variables may be equated (that is a
+// selection over the view's output, expressible by repeating a variable in
+// the V-atom), and a head variable may be bound to a constant; existential
+// view variables may never be equated with anything — the view does not
+// entail such equalities about its witnesses, and assuming them is exactly
+// the unsoundness MiniCon's conditions rule out. The MCD property: whenever
+// a goal variable maps to an existential view variable, every goal
+// mentioning that variable must be covered by the same MCD; variables the
+// surrounding context needs (the "required" set) must map to head variables
+// or constants.
+package minicon
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/lang"
+)
+
+// View is a LAV view definition V(Ā) ⊆ Body (with optional comparison
+// predicates constraining the view's contents). Head.Pred is the fresh
+// predicate V introduced by step-1 normalization; ID identifies the original
+// PPL description for the once-per-path reuse rule.
+type View struct {
+	ID    string
+	Head  lang.Atom
+	Body  []lang.Atom
+	Comps []lang.Comparison
+}
+
+// MCD is a MiniCon description: using the view covers the goals in Covered
+// (indices into the goal conjunction) via the atom Atom, under the exported
+// bindings Export (goal-variable equalities/constant bindings the usage
+// forces on the rest of the rewriting) and the comparison predicates Comps
+// carried over from the view under the mapping.
+type MCD struct {
+	View    *View
+	Covered []int
+	Atom    lang.Atom
+	Export  lang.Subst
+	Comps   []lang.Comparison
+}
+
+// Form computes all MCDs for goals[target] with respect to the sibling
+// conjunction goals and the view. required holds the variable names the
+// surrounding context must be able to recover. vs supplies fresh variables
+// for don't-care view head positions. The view is renamed apart internally.
+func Form(goals []lang.Atom, target int, required map[string]bool, view *View, vs *lang.VarSupply) []MCD {
+	vr, viewVars := renameView(view, vs)
+	headVars := map[string]bool{}
+	for _, a := range vr.Head.Args {
+		if a.IsVar() {
+			headVars[a.Name] = true
+		}
+	}
+	f := &former{
+		goals:    goals,
+		required: required,
+		view:     view,
+		renamed:  vr,
+		viewVars: viewVars,
+		headVars: headVars,
+		vs:       vs,
+	}
+	var out []MCD
+	seen := map[string]bool{}
+	for bi := range vr.Body {
+		if vr.Body[bi].Pred != goals[target].Pred {
+			continue
+		}
+		m := newMapping()
+		if !f.unifyAtom(m, goals[target], vr.Body[bi]) {
+			continue
+		}
+		covered := map[int]bool{target: true}
+		f.close(covered, m, func(cov map[int]bool, mm *mapping) {
+			mcd, ok := f.emit(cov, mm)
+			if !ok {
+				return
+			}
+			key := mcd.key()
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, mcd)
+			}
+		})
+	}
+	return out
+}
+
+type former struct {
+	goals    []lang.Atom
+	required map[string]bool
+	view     *View
+	renamed  View
+	viewVars map[string]bool
+	headVars map[string]bool
+	vs       *lang.VarSupply
+}
+
+// mapping is the partial MCD mapping: goal variables to view terms, plus a
+// union-find over view head variables and constants recording legitimate
+// head-variable equalities.
+type mapping struct {
+	// bind maps goal variable names to view terms (view variables or
+	// constants).
+	bind map[string]lang.Term
+	// uf is a union-find over view head variables and constants; class
+	// representatives prefer constants.
+	uf map[lang.Term]lang.Term
+}
+
+func newMapping() *mapping {
+	return &mapping{bind: map[string]lang.Term{}, uf: map[lang.Term]lang.Term{}}
+}
+
+func (m *mapping) clone() *mapping {
+	c := newMapping()
+	for k, v := range m.bind {
+		c.bind[k] = v
+	}
+	for k, v := range m.uf {
+		c.uf[k] = v
+	}
+	return c
+}
+
+// resolve returns the class representative of a view term.
+func (m *mapping) resolve(t lang.Term) lang.Term {
+	r := t
+	for {
+		p, ok := m.uf[r]
+		if !ok || p == r {
+			return r
+		}
+		r = p
+	}
+}
+
+// union merges two classes (both must be head variables or constants);
+// reports false when the merge is inconsistent (two distinct constants).
+func (m *mapping) union(a, b lang.Term) bool {
+	ra, rb := m.resolve(a), m.resolve(b)
+	if ra == rb {
+		return true
+	}
+	if ra.IsConst() && rb.IsConst() {
+		return false
+	}
+	if rb.IsConst() {
+		ra, rb = rb, ra
+	}
+	// ra is the new root (constant preferred).
+	m.uf[rb] = ra
+	if _, ok := m.uf[ra]; !ok {
+		m.uf[ra] = ra
+	}
+	return true
+}
+
+// unifyAtom extends the mapping so that goal maps onto viewAtom; the view
+// side is rigid up to head-variable equating. Mutates m; callers clone
+// before branching.
+func (f *former) unifyAtom(m *mapping, goal, viewAtom lang.Atom) bool {
+	if goal.Pred != viewAtom.Pred || len(goal.Args) != len(viewAtom.Args) {
+		return false
+	}
+	for i := range goal.Args {
+		g := goal.Args[i]
+		v := m.resolve(viewAtom.Args[i])
+		if g.IsConst() {
+			if !f.bindViewTermToConst(m, v, g) {
+				return false
+			}
+			continue
+		}
+		prev, ok := m.bind[g.Name]
+		if !ok {
+			m.bind[g.Name] = v
+			continue
+		}
+		if !f.mergeViewTerms(m, m.resolve(prev), v) {
+			return false
+		}
+	}
+	return true
+}
+
+// bindViewTermToConst constrains view term v to equal constant c.
+func (f *former) bindViewTermToConst(m *mapping, v, c lang.Term) bool {
+	v = m.resolve(v)
+	switch {
+	case v.IsConst():
+		return v == c
+	case f.headVars[v.Name]:
+		return m.union(v, c) // selection on the view's output column
+	default:
+		return false // cannot constrain an existential witness
+	}
+}
+
+// mergeViewTerms requires view terms a and b to be equal. Legitimate only
+// when both are head variables / constants (selection over the view's
+// output); an existential variable is equal only to itself.
+func (f *former) mergeViewTerms(m *mapping, a, b lang.Term) bool {
+	if a == b {
+		return true
+	}
+	aHead := a.IsConst() || f.headVars[a.Name]
+	bHead := b.IsConst() || f.headVars[b.Name]
+	if aHead && bHead {
+		return m.union(a, b)
+	}
+	return false
+}
+
+// recoverable reports whether goal variable x is exposed by the view head
+// (or grounded to a constant) under m.
+func (f *former) recoverable(x lang.Term, m *mapping) bool {
+	t, ok := m.bind[x.Name]
+	if !ok {
+		return true // variable untouched by this view
+	}
+	t = m.resolve(t)
+	return t.IsConst() || f.headVars[t.Name]
+}
+
+// close extends the covered set until the MCD property holds, branching
+// over choices of view atoms for goals that must be pulled in. emit is
+// called for every consistent completion.
+func (f *former) close(covered map[int]bool, m *mapping, emit func(map[int]bool, *mapping)) {
+	for gi := range covered {
+		for _, x := range f.goals[gi].Vars(nil) {
+			if f.recoverable(x, m) {
+				continue
+			}
+			// x maps to an existential witness. It must not be required …
+			if f.required[x.Name] {
+				return
+			}
+			// … and every goal mentioning x must be covered by this MCD.
+			// If x occurs only inside the covered set, it is a join
+			// internal to the view and needs no action.
+			for gj := range f.goals {
+				if covered[gj] || !f.goals[gj].HasVar(x) {
+					continue
+				}
+				for bi := range f.renamed.Body {
+					if f.renamed.Body[bi].Pred != f.goals[gj].Pred {
+						continue
+					}
+					m2 := m.clone()
+					if !f.unifyAtom(m2, f.goals[gj], f.renamed.Body[bi]) {
+						continue
+					}
+					covered2 := make(map[int]bool, len(covered)+1)
+					for k := range covered {
+						covered2[k] = true
+					}
+					covered2[gj] = true
+					f.close(covered2, m2, emit)
+				}
+				return // dispatched (or no unifiable view atom: dead branch)
+			}
+		}
+	}
+	emit(covered, m)
+}
+
+// emit materializes the MCD: the covering atom over the view predicate, the
+// export substitution over goal variables, and the instantiated view
+// comparisons.
+func (f *former) emit(covered map[int]bool, m *mapping) (MCD, bool) {
+	covList := make([]int, 0, len(covered))
+	for gi := range covered {
+		covList = append(covList, gi)
+	}
+	sort.Ints(covList)
+
+	// Representative goal term per view-variable class, so the atom and
+	// the export expose goal variables where possible.
+	repr := map[lang.Term]lang.Term{}
+	for _, gi := range covList {
+		for _, x := range f.goals[gi].Vars(nil) {
+			t, ok := m.bind[x.Name]
+			if !ok {
+				continue
+			}
+			t = m.resolve(t)
+			if t.IsVar() {
+				if _, ok := repr[t]; !ok {
+					repr[t] = x
+				}
+			}
+		}
+	}
+	// Covering atom: one argument per view head position; classes without
+	// a goal representative get one shared fresh don't-care per class.
+	fresh := map[lang.Term]lang.Term{}
+	args := make([]lang.Term, len(f.renamed.Head.Args))
+	for i, a := range f.renamed.Head.Args {
+		t := a
+		if t.IsVar() {
+			t = m.resolve(t)
+		}
+		switch {
+		case t.IsConst():
+			args[i] = t
+		default:
+			if r, ok := repr[t]; ok {
+				args[i] = r
+			} else {
+				fv, ok := fresh[t]
+				if !ok {
+					fv = f.vs.FreshLike(lang.Var("dc"))
+					fresh[t] = fv
+				}
+				args[i] = fv
+			}
+		}
+	}
+	// Export: bindings this usage forces on covered-goal variables.
+	export := lang.NewSubst()
+	for _, gi := range covList {
+		for _, x := range f.goals[gi].Vars(nil) {
+			t, ok := m.bind[x.Name]
+			if !ok {
+				continue
+			}
+			t = m.resolve(t)
+			var tgt lang.Term
+			switch {
+			case t.IsConst():
+				tgt = t
+			default:
+				r := repr[t]
+				if r == x {
+					continue
+				}
+				tgt = r
+			}
+			if !export.Bind(x.Name, tgt) {
+				return MCD{}, false
+			}
+		}
+	}
+	// Carry the view's comparisons, expressed over goal terms where
+	// possible (comparisons over unexposed witnesses stay on view
+	// variables; they hold for the stored extension by construction and
+	// are used only for constraint-label pruning).
+	comps := make([]lang.Comparison, 0, len(f.renamed.Comps))
+	for _, c := range f.renamed.Comps {
+		comps = append(comps, lang.Comparison{
+			Op: c.Op,
+			L:  f.exposeTerm(c.L, m, repr),
+			R:  f.exposeTerm(c.R, m, repr),
+		})
+	}
+	return MCD{
+		View:    f.view,
+		Covered: covList,
+		Atom:    lang.Atom{Pred: f.renamed.Head.Pred, Args: args},
+		Export:  export,
+		Comps:   comps,
+	}, true
+}
+
+// exposeTerm rewrites a view term through the mapping onto a goal term when
+// one exists.
+func (f *former) exposeTerm(t lang.Term, m *mapping, repr map[lang.Term]lang.Term) lang.Term {
+	if t.IsConst() {
+		return t
+	}
+	rt := m.resolve(t)
+	if rt.IsConst() {
+		return rt
+	}
+	if r, ok := repr[rt]; ok {
+		return r
+	}
+	return rt
+}
+
+// key canonicalizes the MCD for deduplication.
+func (m MCD) key() string {
+	var sb strings.Builder
+	for _, c := range m.Covered {
+		fmt.Fprintf(&sb, "%d,", c)
+	}
+	sb.WriteByte('|')
+	sb.WriteString(m.Atom.Key())
+	sb.WriteByte('|')
+	sb.WriteString(m.Export.String())
+	return sb.String()
+}
+
+// renameView renames the view apart using vs and returns the renamed view
+// plus the set of its (fresh) variable names.
+func renameView(v *View, vs *lang.VarSupply) (View, map[string]bool) {
+	q := lang.CQ{Head: v.Head, Body: v.Body, Comps: v.Comps}
+	r, sub := q.Rename(vs)
+	vars := map[string]bool{}
+	for _, t := range sub {
+		vars[t.Name] = true
+	}
+	return View{ID: v.ID, Head: r.Head, Body: r.Body, Comps: r.Comps}, vars
+}

@@ -1,0 +1,232 @@
+package minicon
+
+import (
+	"testing"
+
+	"repro/internal/lang"
+)
+
+func v(n string) lang.Term                     { return lang.Var(n) }
+func k(n string) lang.Term                     { return lang.Const(n) }
+func atom(p string, ts ...lang.Term) lang.Atom { return lang.NewAtom(p, ts...) }
+
+func req(names ...string) map[string]bool {
+	m := map[string]bool{}
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+// The worked example from Section 4.1 of the paper (borrowed from the
+// MiniCon paper): Q(X,Y) :- e1(X,Z), e2(Z,Y), e3(X,Y) with
+// V1(A,B) :- e1(A,C), e2(C,B).
+func TestFormPaperExample(t *testing.T) {
+	goals := []lang.Atom{
+		atom("e1", v("X"), v("Z")),
+		atom("e2", v("Z"), v("Y")),
+		atom("e3", v("X"), v("Y")),
+	}
+	v1 := &View{
+		ID:   "v1",
+		Head: atom("V1", v("A"), v("B")),
+		Body: []lang.Atom{atom("e1", v("A"), v("C")), atom("e2", v("C"), v("B"))},
+	}
+	mcds := Form(goals, 0, req("X", "Y"), v1, lang.NewVarSupply("_t"))
+	if len(mcds) != 1 {
+		t.Fatalf("mcds = %v", mcds)
+	}
+	m := mcds[0]
+	// Z maps to the view's existential C, so the MCD must cover both e1 and
+	// e2 subgoals.
+	if len(m.Covered) != 2 || m.Covered[0] != 0 || m.Covered[1] != 1 {
+		t.Fatalf("Covered = %v", m.Covered)
+	}
+	// The atom exposes X and Y.
+	if !m.Atom.Equal(atom("V1", v("X"), v("Y"))) {
+		t.Fatalf("Atom = %v", m.Atom)
+	}
+	if len(m.Export) != 0 {
+		t.Fatalf("Export = %v", m.Export)
+	}
+}
+
+// V3(U) :- e1(U,Z): the view projects Z away, so it is useless for covering
+// e1(X,Z) when Z is needed elsewhere (the paper's V3 remark).
+func TestFormUselessViewRejected(t *testing.T) {
+	goals := []lang.Atom{
+		atom("e1", v("X"), v("Z")),
+		atom("e2", v("Z"), v("Y")),
+	}
+	v3 := &View{
+		ID:   "v3",
+		Head: atom("V3", v("U")),
+		Body: []lang.Atom{atom("e1", v("U"), v("W"))},
+	}
+	mcds := Form(goals, 0, req("X", "Y"), v3, lang.NewVarSupply("_t"))
+	if len(mcds) != 0 {
+		t.Fatalf("useless view produced MCDs: %v", mcds)
+	}
+}
+
+// A view that projects a variable appearing in no other goal is usable; the
+// hidden variable is simply existential.
+func TestFormProjectionOfLocalVarOK(t *testing.T) {
+	goals := []lang.Atom{atom("e1", v("X"), v("Z"))}
+	view := &View{
+		ID:   "v",
+		Head: atom("V", v("U")),
+		Body: []lang.Atom{atom("e1", v("U"), v("W"))},
+	}
+	mcds := Form(goals, 0, req("X"), view, lang.NewVarSupply("_t"))
+	if len(mcds) != 1 {
+		t.Fatalf("mcds = %v", mcds)
+	}
+	if !mcds[0].Atom.Equal(atom("V", v("X"))) {
+		t.Fatalf("Atom = %v", mcds[0].Atom)
+	}
+}
+
+// SameSkill(f1,f2) ⊆ Skill(f1,s), Skill(f2,s): covering Skill(f1,s) must
+// produce two MCDs (head order and reversed), the paper's "apply r1 a second
+// time with the head variables reversed" point.
+func TestFormSymmetricViewTwoMCDs(t *testing.T) {
+	goals := []lang.Atom{
+		atom("Skill", v("f1"), v("s")),
+		atom("Skill", v("f2"), v("s")),
+	}
+	view := &View{
+		ID:   "r1",
+		Head: atom("SameSkill", v("a"), v("b")),
+		Body: []lang.Atom{atom("Skill", v("a"), v("c")), atom("Skill", v("b"), v("c"))},
+	}
+	mcds := Form(goals, 0, req("f1", "f2"), view, lang.NewVarSupply("_t"))
+	// Besides the direct and reversed MCDs, MiniCon also produces the
+	// degenerate ones that map both subgoals onto the same view atom
+	// (forcing f1 = f2); those are sound and needed for completeness when
+	// no other covering exists, so we require at least the two canonical
+	// MCDs and that every MCD covers both subgoals.
+	for _, m := range mcds {
+		if len(m.Covered) != 2 {
+			t.Fatalf("Covered = %v (s is view-existential, both subgoals must be covered)", m.Covered)
+		}
+	}
+	got := map[string]bool{}
+	for _, m := range mcds {
+		if len(m.Export) == 0 {
+			got[m.Atom.String()] = true
+		}
+	}
+	if !got["SameSkill(f1, f2)"] || !got["SameSkill(f2, f1)"] {
+		t.Fatalf("canonical MCDs missing: %v", mcds)
+	}
+}
+
+// A view with a constant restricts usage: V(x) ⊆ R(x, "a") can only cover
+// R(y, "a") or R(y, z) by binding z to "a" — the binding must be exported.
+func TestFormConstantExport(t *testing.T) {
+	goals := []lang.Atom{atom("R", v("y"), v("z"))}
+	view := &View{
+		ID:   "v",
+		Head: atom("V", v("x")),
+		Body: []lang.Atom{atom("R", v("x"), k("a"))},
+	}
+	mcds := Form(goals, 0, req("y", "z"), view, lang.NewVarSupply("_t"))
+	if len(mcds) != 1 {
+		t.Fatalf("mcds = %v", mcds)
+	}
+	m := mcds[0]
+	if m.Export.Apply(v("z")) != k("a") {
+		t.Fatalf("Export = %v", m.Export)
+	}
+}
+
+// Required variable bound to a constant by the view is recoverable.
+func TestFormRequiredConstOK(t *testing.T) {
+	goals := []lang.Atom{atom("R", v("y"))}
+	view := &View{
+		ID:   "v",
+		Head: atom("V", v("u")),
+		Body: []lang.Atom{atom("R", k("c")), atom("S", v("u"))},
+	}
+	mcds := Form(goals, 0, req("y"), view, lang.NewVarSupply("_t"))
+	if len(mcds) != 1 {
+		t.Fatalf("mcds = %v", mcds)
+	}
+	if mcds[0].Export.Apply(v("y")) != k("c") {
+		t.Fatalf("Export = %v", mcds[0].Export)
+	}
+}
+
+// Repeated variables in the goal force a join inside the view.
+func TestFormRepeatedGoalVar(t *testing.T) {
+	goals := []lang.Atom{atom("R", v("x"), v("x"))}
+	view := &View{
+		ID:   "v",
+		Head: atom("V", v("a"), v("b")),
+		Body: []lang.Atom{atom("R", v("a"), v("b"))},
+	}
+	mcds := Form(goals, 0, req("x"), view, lang.NewVarSupply("_t"))
+	if len(mcds) != 1 {
+		t.Fatalf("mcds = %v", mcds)
+	}
+	// Both head positions must expose x.
+	if !mcds[0].Atom.Equal(atom("V", v("x"), v("x"))) {
+		t.Fatalf("Atom = %v", mcds[0].Atom)
+	}
+}
+
+// Views carry their comparisons into the MCD, instantiated to goal terms.
+func TestFormCarriesComparisons(t *testing.T) {
+	goals := []lang.Atom{atom("R", v("x"), v("y"))}
+	view := &View{
+		ID:    "v",
+		Head:  atom("V", v("a"), v("b")),
+		Body:  []lang.Atom{atom("R", v("a"), v("b"))},
+		Comps: []lang.Comparison{{Op: lang.OpLT, L: v("a"), R: k("10")}},
+	}
+	mcds := Form(goals, 0, req("x", "y"), view, lang.NewVarSupply("_t"))
+	if len(mcds) != 1 || len(mcds[0].Comps) != 1 {
+		t.Fatalf("mcds = %v", mcds)
+	}
+	c := mcds[0].Comps[0]
+	if c.L != v("x") || c.Op != lang.OpLT || c.R != k("10") {
+		t.Fatalf("comp = %v", c)
+	}
+}
+
+// No MCD when predicates do not match.
+func TestFormNoMatch(t *testing.T) {
+	goals := []lang.Atom{atom("R", v("x"))}
+	view := &View{ID: "v", Head: atom("V", v("a")), Body: []lang.Atom{atom("S", v("a"))}}
+	if mcds := Form(goals, 0, req("x"), view, lang.NewVarSupply("_t")); len(mcds) != 0 {
+		t.Fatalf("mcds = %v", mcds)
+	}
+}
+
+// Constant clash between goal and view blocks the MCD.
+func TestFormConstantClash(t *testing.T) {
+	goals := []lang.Atom{atom("R", k("1"))}
+	view := &View{ID: "v", Head: atom("V", v("a")), Body: []lang.Atom{atom("R", k("2")), atom("S", v("a"))}}
+	if mcds := Form(goals, 0, nil, view, lang.NewVarSupply("_t")); len(mcds) != 0 {
+		t.Fatalf("mcds = %v", mcds)
+	}
+}
+
+// Don't-care view head positions become fresh variables.
+func TestFormDontCareHead(t *testing.T) {
+	goals := []lang.Atom{atom("R", v("x"))}
+	view := &View{
+		ID:   "v",
+		Head: atom("V", v("a"), v("b")),
+		Body: []lang.Atom{atom("R", v("a")), atom("S", v("b"))},
+	}
+	mcds := Form(goals, 0, req("x"), view, lang.NewVarSupply("_t"))
+	if len(mcds) != 1 {
+		t.Fatalf("mcds = %v", mcds)
+	}
+	args := mcds[0].Atom.Args
+	if args[0] != v("x") || !args[1].IsVar() || args[1] == v("x") {
+		t.Fatalf("Atom = %v", mcds[0].Atom)
+	}
+}

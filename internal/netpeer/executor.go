@@ -1,0 +1,213 @@
+package netpeer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/lang"
+	"repro/internal/rel"
+)
+
+// Executor evaluates reformulated unions of conjunctive queries across the
+// peer network. It routes each conjunctive rewriting to the single peer
+// serving all its stored relations when possible (full push-down); when a
+// rewriting spans peers, it fetches the needed relations — with
+// constant-selection push-down per atom — and joins locally.
+type Executor struct {
+	mu sync.Mutex
+	// addr maps each stored relation to the address of the serving peer.
+	addr map[string]string
+	// conns caches one client per address.
+	conns map[string]*Client
+}
+
+// NewExecutor creates an executor with an empty routing table.
+func NewExecutor() *Executor {
+	return &Executor{addr: map[string]string{}, conns: map[string]*Client{}}
+}
+
+// Route declares that the peer at addr serves the given stored relation.
+func (e *Executor) Route(pred, addr string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.addr[pred] = addr
+}
+
+// Discover connects to addr, asks for its catalog, and routes every served
+// relation to it.
+func (e *Executor) Discover(addr string) error {
+	c, err := e.client(addr)
+	if err != nil {
+		return err
+	}
+	preds, err := c.Catalog()
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, p := range preds {
+		e.addr[p] = addr
+	}
+	return nil
+}
+
+// Close closes all cached connections.
+func (e *Executor) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var first error
+	for _, c := range e.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	e.conns = map[string]*Client{}
+	return first
+}
+
+func (e *Executor) client(addr string) (*Client, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c, ok := e.conns[addr]; ok {
+		return c, nil
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	e.conns[addr] = c
+	return c, nil
+}
+
+// EvalUCQ evaluates a union of conjunctive rewritings over the network,
+// returning the distinct union of the disjuncts' answers, sorted.
+func (e *Executor) EvalUCQ(u lang.UCQ) ([]rel.Tuple, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []rel.Tuple
+	for _, q := range u.Disjuncts {
+		rows, err := e.EvalCQ(q)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range rows {
+			if k := t.Key(); !seen[k] {
+				seen[k] = true
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out, nil
+}
+
+// EvalCQ evaluates one conjunctive rewriting over the network.
+func (e *Executor) EvalCQ(q lang.CQ) ([]rel.Tuple, error) {
+	addrs := map[string]bool{}
+	e.mu.Lock()
+	for _, a := range q.Body {
+		addr, ok := e.addr[a.Pred]
+		if !ok {
+			e.mu.Unlock()
+			return nil, fmt.Errorf("netpeer: no route for stored relation %s", a.Pred)
+		}
+		addrs[addr] = true
+	}
+	e.mu.Unlock()
+
+	if len(addrs) == 1 {
+		// Full push-down: one peer holds every atom.
+		var only string
+		for a := range addrs {
+			only = a
+		}
+		c, err := e.client(only)
+		if err != nil {
+			return nil, err
+		}
+		return c.Eval(q)
+	}
+
+	// Cross-peer rewriting: fetch each atom's relation with its constant
+	// selections pushed down, then join locally over a scratch instance.
+	scratch := rel.NewInstance()
+	fetched := map[string]bool{}
+	localBody := make([]lang.Atom, len(q.Body))
+	for i, a := range q.Body {
+		localName, err := e.fetchAtom(a, scratch, fetched)
+		if err != nil {
+			return nil, err
+		}
+		la := a.Clone()
+		la.Pred = localName
+		localBody[i] = la
+	}
+	local := lang.CQ{Head: q.Head, Body: localBody, Comps: q.Comps}
+	return rel.EvalCQ(local, scratch)
+}
+
+// fetchAtom retrieves the tuples matching atom a from its peer with the
+// atom's constant positions pushed as selections, storing them in scratch
+// under a selection-specific local name it returns.
+func (e *Executor) fetchAtom(a lang.Atom, scratch *rel.Instance, fetched map[string]bool) (string, error) {
+	// Local name encodes the selection pattern so repeated atoms share
+	// the fetch.
+	var sb strings.Builder
+	sb.WriteString(a.Pred)
+	for i, t := range a.Args {
+		if t.IsConst() {
+			fmt.Fprintf(&sb, "|%d=%s", i, t.Name)
+		}
+	}
+	localName := sb.String()
+	if fetched[localName] {
+		return localName, nil
+	}
+	e.mu.Lock()
+	addr := e.addr[a.Pred]
+	e.mu.Unlock()
+	c, err := e.client(addr)
+	if err != nil {
+		return "", err
+	}
+	// Remote query: head = fresh vars for every position (so the peer
+	// returns full rows), constants kept in the body atom for push-down.
+	args := make([]lang.Term, len(a.Args))
+	head := make([]lang.Term, len(a.Args))
+	for i, t := range a.Args {
+		v := lang.Var(fmt.Sprintf("c%d", i))
+		head[i] = v
+		if t.IsConst() {
+			args[i] = t
+		} else {
+			args[i] = v
+		}
+	}
+	// Positions selected by constants still need the constant in the head
+	// tuple; reuse the constant directly there.
+	for i, t := range a.Args {
+		if t.IsConst() {
+			head[i] = t
+		}
+	}
+	remote := lang.CQ{
+		Head: lang.Atom{Pred: "fetch", Args: head},
+		Body: []lang.Atom{{Pred: a.Pred, Args: args}},
+	}
+	rows, err := c.Eval(remote)
+	if err != nil {
+		return "", err
+	}
+	for _, t := range rows {
+		if _, err := scratch.Add(localName, t); err != nil {
+			return "", err
+		}
+	}
+	fetched[localName] = true
+	return localName, nil
+}

@@ -1,0 +1,221 @@
+// Package netpeer turns the PDMS into an actually distributed system: each
+// peer runs a Server exposing its stored relations over a newline-delimited
+// JSON/TCP protocol (package wire), and an Executor evaluates reformulated
+// unions of conjunctive queries across the network — pushing each
+// conjunctive rewriting down to a single peer when all its atoms live
+// there, and otherwise fetching (selection-pushed) per-atom scans and
+// joining locally.
+//
+// The paper treats query execution as out of scope ("recent techniques for
+// adaptive query processing are well suited for our context"); this package
+// supplies the minimal honest substrate so that the full pipeline — pose at
+// a peer, reformulate, execute across peers — runs over real sockets.
+package netpeer
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/lang"
+	"repro/internal/rel"
+	"repro/internal/wire"
+)
+
+// Server serves one peer's stored relations.
+type Server struct {
+	mu   sync.RWMutex
+	data *rel.Instance
+
+	lis    net.Listener
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// NewServer creates a server over the given instance (which the server
+// reads under its own lock; use AddFact for concurrent-safe insertion).
+func NewServer(data *rel.Instance) *Server {
+	if data == nil {
+		data = rel.NewInstance()
+	}
+	return &Server{data: data}
+}
+
+// AddFact inserts a tuple into a served relation.
+func (s *Server) AddFact(pred string, t rel.Tuple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.data.Add(pred, t)
+	return err
+}
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral port) and serves
+// until Close. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.lis = lis
+	s.cancel = cancel
+	s.wg.Add(1)
+	go s.acceptLoop(ctx, lis)
+	return lis.Addr().String(), nil
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (s *Server) Close() error {
+	if s.cancel != nil {
+		s.cancel()
+	}
+	var err error
+	if s.lis != nil {
+		err = s.lis.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop(ctx context.Context, lis net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serveConn(ctx, conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		var req wire.Request
+		resp := wire.Response{}
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			resp.Error = fmt.Sprintf("bad request: %v", err)
+		} else {
+			resp = s.handle(req)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req wire.Request) wire.Response {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	switch req.Op {
+	case "catalog":
+		return wire.Response{Preds: s.data.Relations()}
+	case "scan":
+		r := s.data.Relation(req.Pred)
+		if r == nil {
+			return wire.Response{Rows: [][]string{}}
+		}
+		return wire.Response{Rows: wire.TuplesToRows(r.Tuples())}
+	case "eval":
+		if req.Query == nil {
+			return wire.Response{Error: "eval: missing query"}
+		}
+		q, err := req.Query.ToCQ()
+		if err != nil {
+			return wire.Response{Error: err.Error()}
+		}
+		rows, err := rel.EvalCQ(q, s.data)
+		if err != nil {
+			return wire.Response{Error: err.Error()}
+		}
+		return wire.Response{Rows: wire.TuplesToRows(rows)}
+	default:
+		return wire.Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// Client is a connection to one peer server. Not safe for concurrent use;
+// the Executor keeps one per goroutine.
+type Client struct {
+	conn net.Conn
+	sc   *bufio.Scanner
+	enc  *json.Encoder
+}
+
+// Dial connects to a peer server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &Client{conn: conn, sc: sc, enc: json.NewEncoder(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req wire.Request) (wire.Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return wire.Response{}, err
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return wire.Response{}, err
+		}
+		return wire.Response{}, fmt.Errorf("netpeer: connection closed")
+	}
+	var resp wire.Response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return wire.Response{}, err
+	}
+	if resp.Error != "" {
+		return wire.Response{}, fmt.Errorf("netpeer: remote: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Catalog lists the relations the peer serves.
+func (c *Client) Catalog() ([]string, error) {
+	resp, err := c.roundTrip(wire.Request{Op: "catalog"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Preds, nil
+}
+
+// Scan fetches all tuples of one relation.
+func (c *Client) Scan(pred string) ([]rel.Tuple, error) {
+	resp, err := c.roundTrip(wire.Request{Op: "scan", Pred: pred})
+	if err != nil {
+		return nil, err
+	}
+	return wire.RowsToTuples(resp.Rows), nil
+}
+
+// Eval evaluates a conjunctive query remotely; every body atom must name a
+// relation the peer serves.
+func (c *Client) Eval(q lang.CQ) ([]rel.Tuple, error) {
+	wq := wire.FromCQ(q)
+	resp, err := c.roundTrip(wire.Request{Op: "eval", Query: &wq})
+	if err != nil {
+		return nil, err
+	}
+	return wire.RowsToTuples(resp.Rows), nil
+}

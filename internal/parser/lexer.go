@@ -1,0 +1,307 @@
+// Package parser implements the textual PPL specification format used by
+// the command-line tools, the examples, and the tests.
+//
+// The format (one statement per logical line; '#' and '//' start comments):
+//
+//	peer H { Doctor(sid, loc)  EMT(sid, vid) }     # optional declarations
+//	stored FH.doc(sid, last, loc)                  # optional declaration
+//
+//	define 9DC:SkilledPerson(p, "Doctor") :- H:Doctor(p, h, l, s, e)
+//	include LH:CritBed(b,h,r,p,s) in H:CritBed(b,h,r), H:Patient(p,b,s)
+//	equal ECC:Vehicle(v,t,c,g,d) and 9DC:Vehicle(v,t,c,g,d)
+//	storage FH.doc(s,l,loc) in FH:Staff(s,f,l,st,e), FH:Doctor(s,loc)
+//	storage FH.all(s) = FH:Staff(s,f,l,st,e)
+//	fact FH.doc("d07", "welby", "er")
+//	query q(x) :- H:Doctor(x, l), x != "d99"
+//
+// Identifier arguments are variables; quoted strings and numeric literals
+// are constants. Relation names are qualified: "Peer:Relation" for peer
+// relations, "Peer.Relation" for stored relations. For inclusion and
+// equality mappings the correlated (head) variables are exactly the
+// variables shared by the two sides; all others are existential. This is
+// fully general because head variables of Q1 ⊆ Q2 must occur in both bodies
+// for safety.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexer token kinds.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString // quoted constant
+	tokNumber // numeric constant
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokComma
+	tokImplies // :-
+	tokEq      // =
+	tokNe      // !=
+	tokLt      // <
+	tokLe      // <=
+	tokGt      // >
+	tokGe      // >=
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string"
+	case tokNumber:
+		return "number"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokComma:
+		return "','"
+	case tokImplies:
+		return "':-'"
+	case tokEq:
+		return "'='"
+	case tokNe:
+		return "'!='"
+	case tokLt:
+		return "'<'"
+	case tokLe:
+		return "'<='"
+	case tokGt:
+		return "'>'"
+	case tokGe:
+		return "'>='"
+	default:
+		return fmt.Sprintf("tokenKind(%d)", uint8(k))
+	}
+}
+
+// token is a lexeme with position.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// lexer tokenizes a PPL specification.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *lexer) errf(line, col int, format string, args ...any) error {
+	return fmt.Errorf("%d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) advance() byte {
+	b := lx.src[lx.pos]
+	lx.pos++
+	if b == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return b
+}
+
+func (lx *lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		b := lx.peekByte()
+		switch {
+		case b == ' ' || b == '\t' || b == '\r' || b == '\n':
+			lx.advance()
+		case b == '#':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case b == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(b byte) bool {
+	return b == '_' || unicode.IsLetter(rune(b))
+}
+
+func isIdentPart(b byte) bool {
+	return b == '_' || unicode.IsLetter(rune(b)) || unicode.IsDigit(rune(b))
+}
+
+// next returns the next token.
+func (lx *lexer) next() (token, error) {
+	lx.skipSpaceAndComments()
+	line, col := lx.line, lx.col
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	b := lx.peekByte()
+	switch {
+	case b == '(':
+		lx.advance()
+		return token{tokLParen, "(", line, col}, nil
+	case b == ')':
+		lx.advance()
+		return token{tokRParen, ")", line, col}, nil
+	case b == '{':
+		lx.advance()
+		return token{tokLBrace, "{", line, col}, nil
+	case b == '}':
+		lx.advance()
+		return token{tokRBrace, "}", line, col}, nil
+	case b == ',':
+		lx.advance()
+		return token{tokComma, ",", line, col}, nil
+	case b == ':':
+		// Only ':-' is valid here; a ':' inside a qualified name is
+		// consumed by the identifier case below.
+		lx.advance()
+		if lx.peekByte() == '-' {
+			lx.advance()
+			return token{tokImplies, ":-", line, col}, nil
+		}
+		return token{}, lx.errf(line, col, "unexpected ':'")
+	case b == '=':
+		lx.advance()
+		return token{tokEq, "=", line, col}, nil
+	case b == '!':
+		lx.advance()
+		if lx.peekByte() == '=' {
+			lx.advance()
+			return token{tokNe, "!=", line, col}, nil
+		}
+		return token{}, lx.errf(line, col, "unexpected '!'")
+	case b == '<':
+		lx.advance()
+		if lx.peekByte() == '=' {
+			lx.advance()
+			return token{tokLe, "<=", line, col}, nil
+		}
+		return token{tokLt, "<", line, col}, nil
+	case b == '>':
+		lx.advance()
+		if lx.peekByte() == '=' {
+			lx.advance()
+			return token{tokGe, ">=", line, col}, nil
+		}
+		return token{tokGt, ">", line, col}, nil
+	case b == '"':
+		return lx.lexString(line, col)
+	case b == '-' || unicode.IsDigit(rune(b)):
+		return lx.lexNumber(line, col)
+	case isIdentStart(b):
+		return lx.lexIdent(line, col)
+	default:
+		return token{}, lx.errf(line, col, "unexpected character %q", string(b))
+	}
+}
+
+func (lx *lexer) lexString(line, col int) (token, error) {
+	lx.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if lx.pos >= len(lx.src) {
+			return token{}, lx.errf(line, col, "unterminated string")
+		}
+		b := lx.advance()
+		switch b {
+		case '"':
+			return token{tokString, sb.String(), line, col}, nil
+		case '\\':
+			if lx.pos >= len(lx.src) {
+				return token{}, lx.errf(line, col, "unterminated escape")
+			}
+			e := lx.advance()
+			switch e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '"', '\\':
+				sb.WriteByte(e)
+			default:
+				return token{}, lx.errf(line, col, "bad escape \\%c", e)
+			}
+		case '\n':
+			return token{}, lx.errf(line, col, "newline in string")
+		default:
+			sb.WriteByte(b)
+		}
+	}
+}
+
+func (lx *lexer) lexNumber(line, col int) (token, error) {
+	var sb strings.Builder
+	if lx.peekByte() == '-' {
+		sb.WriteByte(lx.advance())
+		if !unicode.IsDigit(rune(lx.peekByte())) {
+			return token{}, lx.errf(line, col, "expected digit after '-'")
+		}
+	}
+	dot := false
+	for lx.pos < len(lx.src) {
+		b := lx.peekByte()
+		if unicode.IsDigit(rune(b)) {
+			sb.WriteByte(lx.advance())
+		} else if b == '.' && !dot && lx.pos+1 < len(lx.src) && unicode.IsDigit(rune(lx.src[lx.pos+1])) {
+			dot = true
+			sb.WriteByte(lx.advance())
+		} else {
+			break
+		}
+	}
+	return token{tokNumber, sb.String(), line, col}, nil
+}
+
+// lexIdent consumes an identifier, optionally qualified by a single ':' or
+// '.' segment ("Peer:Rel", "Peer.Rel"). A ':' is only consumed when
+// followed by an identifier start (so "p :- q" lexes as ident, ':-', ident).
+func (lx *lexer) lexIdent(line, col int) (token, error) {
+	var sb strings.Builder
+	for lx.pos < len(lx.src) && isIdentPart(lx.peekByte()) {
+		sb.WriteByte(lx.advance())
+	}
+	if lx.pos+1 < len(lx.src) {
+		sep := lx.peekByte()
+		if (sep == ':' || sep == '.') && isIdentStart(lx.src[lx.pos+1]) {
+			sb.WriteByte(lx.advance())
+			for lx.pos < len(lx.src) && isIdentPart(lx.peekByte()) {
+				sb.WriteByte(lx.advance())
+			}
+		}
+	}
+	return token{tokIdent, sb.String(), line, col}, nil
+}

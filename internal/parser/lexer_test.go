@@ -1,0 +1,153 @@
+package parser
+
+import (
+	"testing"
+)
+
+// lexAll tokenizes the whole input, failing the test on lexer errors.
+func lexAll(t *testing.T, src string) []token {
+	t.Helper()
+	lx := newLexer(src)
+	var out []token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			t.Fatalf("lex %q: %v", src, err)
+		}
+		out = append(out, tok)
+		if tok.kind == tokEOF {
+			return out
+		}
+	}
+}
+
+func kinds(ts []token) []tokenKind {
+	out := make([]tokenKind, len(ts))
+	for i, t := range ts {
+		out[i] = t.kind
+	}
+	return out
+}
+
+func TestLexQualifiedIdentifiers(t *testing.T) {
+	ts := lexAll(t, `H:Doctor FH.doc plain`)
+	if len(ts) != 4 {
+		t.Fatalf("tokens = %v", ts)
+	}
+	if ts[0].text != "H:Doctor" || ts[1].text != "FH.doc" || ts[2].text != "plain" {
+		t.Fatalf("texts = %q %q %q", ts[0].text, ts[1].text, ts[2].text)
+	}
+}
+
+func TestLexImpliesVsQualifier(t *testing.T) {
+	// "q(x) :- p(x)" must lex ':-' as one token, NOT consume ':' into q's
+	// identifier (the ':' is followed by '-', not an identifier start).
+	ts := lexAll(t, `q :- p`)
+	want := []tokenKind{tokIdent, tokImplies, tokIdent, tokEOF}
+	got := kinds(ts)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	ts := lexAll(t, `= != < <= > >=`)
+	want := []tokenKind{tokEq, tokNe, tokLt, tokLe, tokGt, tokGe, tokEOF}
+	got := kinds(ts)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	ts := lexAll(t, `"a\"b" "tab\tnl\n" "back\\slash"`)
+	if ts[0].text != `a"b` {
+		t.Fatalf("escape quote: %q", ts[0].text)
+	}
+	if ts[1].text != "tab\tnl\n" {
+		t.Fatalf("escape tab/nl: %q", ts[1].text)
+	}
+	if ts[2].text != `back\slash` {
+		t.Fatalf("escape backslash: %q", ts[2].text)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	ts := lexAll(t, `0 42 -7 3.14 -0.5`)
+	for i, want := range []string{"0", "42", "-7", "3.14", "-0.5"} {
+		if ts[i].kind != tokNumber || ts[i].text != want {
+			t.Fatalf("token %d = %+v, want number %q", i, ts[i], want)
+		}
+	}
+}
+
+func TestLexNumberDotNotConsumedAsQualifier(t *testing.T) {
+	// "1.x" is not a valid number continuation; the dot must not glue.
+	lx := newLexer(`fact A.r(1)`)
+	var texts []string
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tok.kind == tokEOF {
+			break
+		}
+		texts = append(texts, tok.text)
+	}
+	if texts[1] != "A.r" {
+		t.Fatalf("texts = %v", texts)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	lx := newLexer("a\n  b")
+	t1, _ := lx.next()
+	t2, _ := lx.next()
+	if t1.line != 1 || t1.col != 1 {
+		t.Fatalf("t1 at %d:%d", t1.line, t1.col)
+	}
+	if t2.line != 2 || t2.col != 3 {
+		t.Fatalf("t2 at %d:%d", t2.line, t2.col)
+	}
+}
+
+func TestLexCommentsToEOL(t *testing.T) {
+	ts := lexAll(t, "a # comment ( ) { } :- \n b // more , = \n c")
+	var texts []string
+	for _, tok := range ts[:len(ts)-1] {
+		texts = append(texts, tok.text)
+	}
+	if len(texts) != 3 || texts[0] != "a" || texts[1] != "b" || texts[2] != "c" {
+		t.Fatalf("texts = %v", texts)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, `"bad \q escape"`, "\"newline\nstring\"", `@`, `!x`, `:x`, `-x`} {
+		lx := newLexer(src)
+		var err error
+		for err == nil {
+			var tok token
+			tok, err = lx.next()
+			if err == nil && tok.kind == tokEOF {
+				t.Fatalf("no error for %q", src)
+			}
+		}
+	}
+}
+
+func TestLexSingleColonNotGlued(t *testing.T) {
+	// ':' followed by non-ident must error (there is no standalone colon).
+	lx := newLexer(`a : b`)
+	if _, err := lx.next(); err != nil { // 'a'
+		t.Fatal(err)
+	}
+	if _, err := lx.next(); err == nil {
+		t.Fatal("standalone ':' accepted")
+	}
+}

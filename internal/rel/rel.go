@@ -1,0 +1,179 @@
+// Package rel is the relational execution substrate: instances of stored
+// relations, set-semantics evaluation of conjunctive queries and unions of
+// conjunctive queries, and semi-naive datalog evaluation.
+//
+// The paper defers query execution ("the precise method of evaluating Q' is
+// beyond the scope of this paper"); this package supplies it so that
+// reformulated queries can actually be answered over stored relations, and
+// so the chase-based certain-answer oracle has an evaluator to run on.
+package rel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Tuple is a row of constant values.
+type Tuple []string
+
+// Key returns a canonical map key for the tuple.
+func (t Tuple) Key() string { return strings.Join(t, "\x00") }
+
+// String renders the tuple as (v1, ..., vn).
+func (t Tuple) String() string { return "(" + strings.Join(t, ", ") + ")" }
+
+// Equal reports element-wise equality.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Relation is a named set of tuples of fixed arity. Mutation requires
+// external synchronization (rel.Instance is single-writer); the sorted-view
+// cache below is internally synchronized so concurrent readers are safe.
+type Relation struct {
+	Name   string
+	Arity  int
+	tuples map[string]Tuple
+	// sortedMu guards sorted, which caches the deterministic tuple order
+	// and is invalidated on insert.
+	sortedMu sync.Mutex
+	sorted   []Tuple
+}
+
+// NewRelation creates an empty relation.
+func NewRelation(name string, arity int) *Relation {
+	return &Relation{Name: name, Arity: arity, tuples: map[string]Tuple{}}
+}
+
+// Insert adds a tuple (set semantics). It reports whether the tuple was new
+// and returns an error on arity mismatch.
+func (r *Relation) Insert(t Tuple) (bool, error) {
+	if len(t) != r.Arity {
+		return false, fmt.Errorf("rel: %s arity %d, tuple %v has %d values", r.Name, r.Arity, t, len(t))
+	}
+	k := t.Key()
+	if _, ok := r.tuples[k]; ok {
+		return false, nil
+	}
+	cp := make(Tuple, len(t))
+	copy(cp, t)
+	r.tuples[k] = cp
+	r.sortedMu.Lock()
+	r.sorted = nil
+	r.sortedMu.Unlock()
+	return true, nil
+}
+
+// Contains reports tuple membership.
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.tuples[t.Key()]
+	return ok
+}
+
+// Len returns the cardinality.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuples returns the tuples in deterministic (sorted) order. The result is
+// cached and shared: callers must not mutate it.
+func (r *Relation) Tuples() []Tuple {
+	r.sortedMu.Lock()
+	defer r.sortedMu.Unlock()
+	if r.sorted == nil {
+		out := make([]Tuple, 0, len(r.tuples))
+		for _, t := range r.tuples {
+			out = append(out, t)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+		r.sorted = out
+	}
+	return r.sorted
+}
+
+// Instance maps predicate names to relations. The zero value is unusable;
+// use NewInstance.
+type Instance struct {
+	rels map[string]*Relation
+}
+
+// NewInstance returns an empty instance.
+func NewInstance() *Instance {
+	return &Instance{rels: map[string]*Relation{}}
+}
+
+// Clone returns a deep copy of the instance.
+func (ins *Instance) Clone() *Instance {
+	out := NewInstance()
+	for name, r := range ins.rels {
+		nr := NewRelation(name, r.Arity)
+		for k, t := range r.tuples {
+			nr.tuples[k] = t
+		}
+		out.rels[name] = nr
+	}
+	return out
+}
+
+// Relation returns the named relation, or nil if absent.
+func (ins *Instance) Relation(pred string) *Relation { return ins.rels[pred] }
+
+// Relations returns the predicate names present, sorted.
+func (ins *Instance) Relations() []string {
+	out := make([]string, 0, len(ins.rels))
+	for name := range ins.rels {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Add inserts a tuple into pred, creating the relation on first use. It
+// reports whether the tuple was new.
+func (ins *Instance) Add(pred string, t Tuple) (bool, error) {
+	r, ok := ins.rels[pred]
+	if !ok {
+		r = NewRelation(pred, len(t))
+		ins.rels[pred] = r
+	}
+	return r.Insert(t)
+}
+
+// MustAdd is Add that panics on arity errors; for tests and loaders of
+// already-validated data.
+func (ins *Instance) MustAdd(pred string, vals ...string) {
+	if _, err := ins.Add(pred, Tuple(vals)); err != nil {
+		panic(err)
+	}
+}
+
+// Size returns the total number of tuples across relations.
+func (ins *Instance) Size() int {
+	n := 0
+	for _, r := range ins.rels {
+		n += len(r.tuples)
+	}
+	return n
+}
+
+// String renders the instance deterministically (for golden tests).
+func (ins *Instance) String() string {
+	var sb strings.Builder
+	for _, name := range ins.Relations() {
+		r := ins.rels[name]
+		for _, t := range r.Tuples() {
+			sb.WriteString(name)
+			sb.WriteString(t.String())
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

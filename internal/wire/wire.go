@@ -1,0 +1,196 @@
+// Package wire defines the JSON message format peers use on the network:
+// serializable forms of terms, atoms, conjunctive queries and tuples, plus
+// the request/response envelopes of the peer protocol.
+//
+// The protocol is deliberately small: newline-delimited JSON over TCP, one
+// request per line, one response per line. Three request kinds:
+//
+//	{"op":"eval", "query":{…}}        evaluate a CQ over this peer's stored
+//	                                  relations, returning the head tuples
+//	{"op":"scan", "pred":"FH.doc"}    return all tuples of one relation
+//	{"op":"catalog"}                  list the stored relations served here
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/lang"
+	"repro/internal/rel"
+)
+
+// Term is the serializable form of lang.Term.
+type Term struct {
+	// Kind is "var" or "const".
+	Kind string `json:"k"`
+	// Value is the variable name or constant lexical value.
+	Value string `json:"v"`
+}
+
+// FromTerm converts a lang.Term.
+func FromTerm(t lang.Term) Term {
+	k := "var"
+	if t.IsConst() {
+		k = "const"
+	}
+	return Term{Kind: k, Value: t.Name}
+}
+
+// ToTerm converts back to lang.Term.
+func (t Term) ToTerm() (lang.Term, error) {
+	switch t.Kind {
+	case "var":
+		return lang.Var(t.Value), nil
+	case "const":
+		return lang.Const(t.Value), nil
+	default:
+		return lang.Term{}, fmt.Errorf("wire: bad term kind %q", t.Kind)
+	}
+}
+
+// Atom is the serializable form of lang.Atom.
+type Atom struct {
+	Pred string `json:"p"`
+	Args []Term `json:"a"`
+}
+
+// FromAtom converts a lang.Atom.
+func FromAtom(a lang.Atom) Atom {
+	out := Atom{Pred: a.Pred, Args: make([]Term, len(a.Args))}
+	for i, t := range a.Args {
+		out.Args[i] = FromTerm(t)
+	}
+	return out
+}
+
+// ToAtom converts back to lang.Atom.
+func (a Atom) ToAtom() (lang.Atom, error) {
+	out := lang.Atom{Pred: a.Pred, Args: make([]lang.Term, len(a.Args))}
+	for i, t := range a.Args {
+		lt, err := t.ToTerm()
+		if err != nil {
+			return lang.Atom{}, err
+		}
+		out.Args[i] = lt
+	}
+	return out, nil
+}
+
+// Comparison is the serializable form of lang.Comparison.
+type Comparison struct {
+	Op string `json:"op"` // "=", "!=", "<", "<=", ">", ">="
+	L  Term   `json:"l"`
+	R  Term   `json:"r"`
+}
+
+var opNames = map[lang.CompOp]string{
+	lang.OpEQ: "=", lang.OpNE: "!=", lang.OpLT: "<",
+	lang.OpLE: "<=", lang.OpGT: ">", lang.OpGE: ">=",
+}
+
+var opValues = map[string]lang.CompOp{
+	"=": lang.OpEQ, "!=": lang.OpNE, "<": lang.OpLT,
+	"<=": lang.OpLE, ">": lang.OpGT, ">=": lang.OpGE,
+}
+
+// FromComparison converts a lang.Comparison.
+func FromComparison(c lang.Comparison) Comparison {
+	return Comparison{Op: opNames[c.Op], L: FromTerm(c.L), R: FromTerm(c.R)}
+}
+
+// ToComparison converts back to lang.Comparison.
+func (c Comparison) ToComparison() (lang.Comparison, error) {
+	op, ok := opValues[c.Op]
+	if !ok {
+		return lang.Comparison{}, fmt.Errorf("wire: bad comparison op %q", c.Op)
+	}
+	l, err := c.L.ToTerm()
+	if err != nil {
+		return lang.Comparison{}, err
+	}
+	r, err := c.R.ToTerm()
+	if err != nil {
+		return lang.Comparison{}, err
+	}
+	return lang.Comparison{Op: op, L: l, R: r}, nil
+}
+
+// CQ is the serializable form of lang.CQ.
+type CQ struct {
+	Head  Atom         `json:"head"`
+	Body  []Atom       `json:"body"`
+	Comps []Comparison `json:"comps,omitempty"`
+}
+
+// FromCQ converts a lang.CQ.
+func FromCQ(q lang.CQ) CQ {
+	out := CQ{Head: FromAtom(q.Head)}
+	for _, a := range q.Body {
+		out.Body = append(out.Body, FromAtom(a))
+	}
+	for _, c := range q.Comps {
+		out.Comps = append(out.Comps, FromComparison(c))
+	}
+	return out
+}
+
+// ToCQ converts back to lang.CQ.
+func (q CQ) ToCQ() (lang.CQ, error) {
+	head, err := q.Head.ToAtom()
+	if err != nil {
+		return lang.CQ{}, err
+	}
+	out := lang.CQ{Head: head}
+	for _, a := range q.Body {
+		la, err := a.ToAtom()
+		if err != nil {
+			return lang.CQ{}, err
+		}
+		out.Body = append(out.Body, la)
+	}
+	for _, c := range q.Comps {
+		lc, err := c.ToComparison()
+		if err != nil {
+			return lang.CQ{}, err
+		}
+		out.Comps = append(out.Comps, lc)
+	}
+	return out, nil
+}
+
+// Request is one protocol request.
+type Request struct {
+	// Op is "eval", "scan" or "catalog".
+	Op string `json:"op"`
+	// Query is the CQ for eval.
+	Query *CQ `json:"query,omitempty"`
+	// Pred is the relation for scan.
+	Pred string `json:"pred,omitempty"`
+}
+
+// Response is one protocol response.
+type Response struct {
+	// Error is non-empty on failure; other fields are then unset.
+	Error string `json:"error,omitempty"`
+	// Rows carries eval/scan results.
+	Rows [][]string `json:"rows,omitempty"`
+	// Preds carries the catalog listing.
+	Preds []string `json:"preds,omitempty"`
+}
+
+// RowsToTuples converts response rows.
+func RowsToTuples(rows [][]string) []rel.Tuple {
+	out := make([]rel.Tuple, len(rows))
+	for i, r := range rows {
+		out[i] = rel.Tuple(r)
+	}
+	return out
+}
+
+// TuplesToRows converts tuples for a response.
+func TuplesToRows(ts []rel.Tuple) [][]string {
+	out := make([][]string, len(ts))
+	for i, t := range ts {
+		out[i] = []string(t)
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package wire
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lang"
+	"repro/internal/rel"
+)
+
+func TestTermRoundTrip(t *testing.T) {
+	for _, lt := range []lang.Term{lang.Var("x"), lang.Const("5"), lang.Const("a b")} {
+		got, err := FromTerm(lt).ToTerm()
+		if err != nil || got != lt {
+			t.Fatalf("round trip %v -> %v (%v)", lt, got, err)
+		}
+	}
+	if _, err := (Term{Kind: "bogus"}).ToTerm(); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+}
+
+func TestCQRoundTripJSON(t *testing.T) {
+	q := lang.CQ{
+		Head: lang.NewAtom("q", lang.Var("x"), lang.Const("tag")),
+		Body: []lang.Atom{
+			lang.NewAtom("A.r", lang.Var("x"), lang.Var("y")),
+			lang.NewAtom("B.s", lang.Var("y"), lang.Const("1")),
+		},
+		Comps: []lang.Comparison{{Op: lang.OpLE, L: lang.Var("y"), R: lang.Const("9")}},
+	}
+	data, err := json.Marshal(FromCQ(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wq CQ
+	if err := json.Unmarshal(data, &wq); err != nil {
+		t.Fatal(err)
+	}
+	got, err := wq.ToCQ()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != q.String() {
+		t.Fatalf("round trip: %s != %s", got, q)
+	}
+}
+
+func TestComparisonOps(t *testing.T) {
+	for _, op := range []lang.CompOp{lang.OpEQ, lang.OpNE, lang.OpLT, lang.OpLE, lang.OpGT, lang.OpGE} {
+		c := lang.Comparison{Op: op, L: lang.Var("a"), R: lang.Const("b")}
+		got, err := FromComparison(c).ToComparison()
+		if err != nil || got != c {
+			t.Fatalf("op %v: %v (%v)", op, got, err)
+		}
+	}
+	if _, err := (Comparison{Op: "~~"}).ToComparison(); err == nil {
+		t.Fatal("bad op accepted")
+	}
+}
+
+func TestTupleHelpers(t *testing.T) {
+	ts := []rel.Tuple{{"a", "b"}, {"c"}}
+	back := RowsToTuples(TuplesToRows(ts))
+	if len(back) != 2 || !back[0].Equal(ts[0]) || !back[1].Equal(ts[1]) {
+		t.Fatalf("round trip: %v", back)
+	}
+}
+
+// Property: random CQs survive the JSON round trip textually intact.
+func TestCQRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomCQ(rng)
+		data, err := json.Marshal(FromCQ(q))
+		if err != nil {
+			return false
+		}
+		var wq CQ
+		if err := json.Unmarshal(data, &wq); err != nil {
+			return false
+		}
+		got, err := wq.ToCQ()
+		return err == nil && got.String() == q.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomCQ(rng *rand.Rand) lang.CQ {
+	vars := []lang.Term{lang.Var("a"), lang.Var("b"), lang.Var("c")}
+	randT := func() lang.Term {
+		if rng.Intn(3) == 0 {
+			return lang.Const(string(rune('0' + rng.Intn(5))))
+		}
+		return vars[rng.Intn(len(vars))]
+	}
+	q := lang.CQ{Head: lang.NewAtom("q", vars[0])}
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		q.Body = append(q.Body, lang.NewAtom("P.r", randT(), randT()))
+	}
+	if rng.Intn(2) == 0 {
+		q.Comps = append(q.Comps, lang.Comparison{
+			Op: lang.CompOp(rng.Intn(6)), L: randT(), R: randT(),
+		})
+	}
+	return q
+}

@@ -1,0 +1,204 @@
+package xmlstore
+
+import (
+	"testing"
+
+	"repro/internal/rel"
+)
+
+const hospitalXML = `
+<hospital name="first">
+  <doctor loc="er">
+    <sid>d07</sid>
+    <last>welby</last>
+    <shift>day</shift>
+  </doctor>
+  <doctor loc="icu">
+    <sid>d12</sid>
+    <last>house</last>
+    <shift>night</shift>
+  </doctor>
+  <bed class="critical">
+    <id>c1</id>
+  </bed>
+</hospital>`
+
+func shredHospital(t *testing.T) *Shredded {
+	t.Helper()
+	s, err := Shred([]byte(hospitalXML), "FH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestShredBasics(t *testing.T) {
+	s := shredHospital(t)
+	if s.Root != "n0" {
+		t.Fatalf("root = %s", s.Root)
+	}
+	elem := s.Data.Relation(RelElem("FH"))
+	if elem == nil {
+		t.Fatal("no elem relation")
+	}
+	// hospital, 2×doctor, bed, 2×(sid,last,shift), id = 1+2+1+6+1 = 11.
+	if elem.Len() != 11 {
+		t.Fatalf("elem count = %d:\n%s", elem.Len(), s.Data)
+	}
+	if !s.Data.Relation(RelAttr("FH")).Contains(rel.Tuple{"n0", "name", "first"}) {
+		t.Fatal("root attribute missing")
+	}
+	txt := s.Data.Relation(RelText("FH"))
+	found := false
+	for _, tp := range txt.Tuples() {
+		if tp[1] == "d07" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("text d07 missing")
+	}
+}
+
+func TestShredDeterministic(t *testing.T) {
+	a := shredHospital(t)
+	b := shredHospital(t)
+	if a.Data.String() != b.Data.String() {
+		t.Fatal("shredding not deterministic")
+	}
+}
+
+func TestShredErrors(t *testing.T) {
+	if _, err := Shred([]byte(``), "X"); err == nil {
+		t.Fatal("empty doc accepted")
+	}
+	if _, err := Shred([]byte(`<a><b></a>`), "X"); err == nil {
+		t.Fatal("malformed doc accepted")
+	}
+}
+
+func TestParseFLWOR(t *testing.T) {
+	q, err := ParseFLWOR(`for $d in /hospital/doctor where $d/shift = "day" return $d/sid, $d/last`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Var != "$d" || len(q.In.Steps) != 2 || len(q.Wheres) != 1 || len(q.Return) != 2 {
+		t.Fatalf("parsed = %+v", q)
+	}
+}
+
+func TestParseFLWORErrors(t *testing.T) {
+	cases := []string{
+		`select * from t`,
+		`for d in /a return $d/x`,
+		`for $d in /a/b`,
+		`for $d in /a return other/x`,
+		`for $d in /a where $d/x ~ "y" return $d/x`,
+		`for $d in /a/@id return $d/x`,
+		`for $d in /a return $d/@x/y`,
+	}
+	for _, src := range cases {
+		if _, err := ParseFLWOR(src); err == nil {
+			t.Fatalf("accepted %q", src)
+		}
+	}
+}
+
+func TestCompileAndEvaluate(t *testing.T) {
+	s := shredHospital(t)
+	q, err := ParseFLWOR(`for $d in /hospital/doctor where $d/shift = "day" return $d/sid, $d/last`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := q.Compile("FH", "row")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := rel.EvalCQ(cq, s.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0] != "d07" || rows[0][1] != "welby" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestCompileAttributeSelection(t *testing.T) {
+	s := shredHospital(t)
+	q, err := ParseFLWOR(`for $d in /hospital/doctor return $d/sid, $d/@loc`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := q.Compile("FH", "row")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := rel.EvalCQ(cq, s.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	got := map[string]string{}
+	for _, r := range rows {
+		got[r[0]] = r[1]
+	}
+	if got["d07"] != "er" || got["d12"] != "icu" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestCompileAttributePredicateInPath(t *testing.T) {
+	s := shredHospital(t)
+	q, err := ParseFLWOR(`for $d in /hospital/doctor[@loc="er"] return $d/sid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := q.Compile("FH", "row")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := rel.EvalCQ(cq, s.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0] != "d07" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestCompileComparisonWhere(t *testing.T) {
+	s := shredHospital(t)
+	q, err := ParseFLWOR(`for $d in /hospital/doctor where $d/sid != "d07" return $d/sid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := q.Compile("FH", "row")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := rel.EvalCQ(cq, s.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0] != "d12" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestCompileWrongRootTagEmpty(t *testing.T) {
+	s := shredHospital(t)
+	q, err := ParseFLWOR(`for $d in /clinic/doctor return $d/sid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := q.Compile("FH", "row")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := rel.EvalCQ(cq, s.Data)
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("rows = %v err = %v", rows, err)
+	}
+}

@@ -1,0 +1,349 @@
+package xmlstore
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lang"
+)
+
+// FLWOR is a parsed query in the supported XQuery subset:
+//
+//	for $v in /path/steps
+//	where $v/path = "const" (and $v/path != "c" | < | <= | > | >= ...)*
+//	return $v/path1, $v/path2, ...
+//
+// Paths are chains of child steps with optional attribute tests
+// [@name="value"] on any step. Return paths end implicitly in text()
+// (element content) or @attr. Set-oriented semantics, exactly the paper's
+// fragment: each FLWOR compiles to one conjunctive query over the shredded
+// relations.
+type FLWOR struct {
+	Var    string
+	In     Path
+	Wheres []Where
+	Return []Path
+}
+
+// Path is a sequence of child steps from the document root (for the `in`
+// clause) or from the bound variable (for `where`/`return` paths).
+type Path struct {
+	Steps []Step
+	// Attr selects an attribute of the final element instead of its text.
+	Attr string
+}
+
+// Step is one child step: an element tag with optional attribute equality
+// tests.
+type Step struct {
+	Tag   string
+	Tests []AttrTest
+}
+
+// AttrTest is an attribute equality predicate [@name="value"].
+type AttrTest struct {
+	Name  string
+	Value string
+}
+
+// Where is a comparison between a path's value and a constant.
+type Where struct {
+	Path Path
+	Op   lang.CompOp
+	Val  string
+}
+
+// ParseFLWOR parses the textual form.
+func ParseFLWOR(src string) (*FLWOR, error) {
+	s := strings.TrimSpace(src)
+	if !strings.HasPrefix(s, "for ") {
+		return nil, fmt.Errorf("xmlstore: query must start with 'for'")
+	}
+	s = s[4:]
+	// for $v in PATH ...
+	v, rest, err := parseVar(s)
+	if err != nil {
+		return nil, err
+	}
+	rest = strings.TrimSpace(rest)
+	if !strings.HasPrefix(rest, "in ") {
+		return nil, fmt.Errorf("xmlstore: expected 'in' after variable")
+	}
+	rest = strings.TrimSpace(rest[3:])
+	retIdx := strings.Index(rest, "return ")
+	if retIdx < 0 {
+		return nil, fmt.Errorf("xmlstore: missing 'return'")
+	}
+	head := strings.TrimSpace(rest[:retIdx])
+	retPart := strings.TrimSpace(rest[retIdx+len("return "):])
+
+	q := &FLWOR{Var: v}
+	whereIdx := strings.Index(head, "where ")
+	inPart := head
+	if whereIdx >= 0 {
+		inPart = strings.TrimSpace(head[:whereIdx])
+		wherePart := strings.TrimSpace(head[whereIdx+len("where "):])
+		for _, clause := range strings.Split(wherePart, " and ") {
+			w, err := parseWhere(strings.TrimSpace(clause), v)
+			if err != nil {
+				return nil, err
+			}
+			q.Wheres = append(q.Wheres, w)
+		}
+	}
+	p, err := ParsePath(inPart)
+	if err != nil {
+		return nil, err
+	}
+	if p.Attr != "" {
+		return nil, fmt.Errorf("xmlstore: 'in' path cannot select an attribute")
+	}
+	q.In = p
+	for _, rp := range strings.Split(retPart, ",") {
+		rp = strings.TrimSpace(rp)
+		pp, err := parseVarPath(rp, v)
+		if err != nil {
+			return nil, err
+		}
+		q.Return = append(q.Return, pp)
+	}
+	if len(q.Return) == 0 {
+		return nil, fmt.Errorf("xmlstore: empty return clause")
+	}
+	return q, nil
+}
+
+func parseVar(s string) (string, string, error) {
+	if !strings.HasPrefix(s, "$") {
+		return "", "", fmt.Errorf("xmlstore: expected variable after 'for'")
+	}
+	i := 1
+	for i < len(s) && (isAlnum(s[i]) || s[i] == '_') {
+		i++
+	}
+	if i == 1 {
+		return "", "", fmt.Errorf("xmlstore: empty variable name")
+	}
+	return s[:i], s[i:], nil
+}
+
+func isAlnum(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9'
+}
+
+// parseWhere parses `$v/path OP "const"`.
+func parseWhere(s, v string) (Where, error) {
+	ops := []struct {
+		text string
+		op   lang.CompOp
+	}{
+		{"!=", lang.OpNE}, {"<=", lang.OpLE}, {">=", lang.OpGE},
+		{"=", lang.OpEQ}, {"<", lang.OpLT}, {">", lang.OpGT},
+	}
+	for _, o := range ops {
+		if i := strings.Index(s, o.text); i > 0 {
+			lhs := strings.TrimSpace(s[:i])
+			rhs := strings.TrimSpace(s[i+len(o.text):])
+			p, err := parseVarPath(lhs, v)
+			if err != nil {
+				return Where{}, err
+			}
+			val, err := unquote(rhs)
+			if err != nil {
+				return Where{}, err
+			}
+			return Where{Path: p, Op: o.op, Val: val}, nil
+		}
+	}
+	return Where{}, fmt.Errorf("xmlstore: no comparison operator in %q", s)
+}
+
+func unquote(s string) (string, error) {
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		return s[1 : len(s)-1], nil
+	}
+	// Bare numbers allowed.
+	for i := 0; i < len(s); i++ {
+		if !(s[i] >= '0' && s[i] <= '9' || s[i] == '.' || s[i] == '-') {
+			return "", fmt.Errorf("xmlstore: expected quoted string or number, got %q", s)
+		}
+	}
+	if s == "" {
+		return "", fmt.Errorf("xmlstore: empty comparison value")
+	}
+	return s, nil
+}
+
+// parseVarPath parses `$v/step/step` or `$v/@attr` or `$v` relative paths.
+func parseVarPath(s, v string) (Path, error) {
+	if !strings.HasPrefix(s, v) {
+		return Path{}, fmt.Errorf("xmlstore: path %q must start with %s", s, v)
+	}
+	rest := s[len(v):]
+	if rest == "" {
+		return Path{}, nil
+	}
+	if !strings.HasPrefix(rest, "/") {
+		return Path{}, fmt.Errorf("xmlstore: expected '/' after %s in %q", v, s)
+	}
+	return ParsePath(rest)
+}
+
+// ParsePath parses /a/b[@k="v"]/c or .../@attr.
+func ParsePath(s string) (Path, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "/") {
+		return Path{}, fmt.Errorf("xmlstore: path must start with '/': %q", s)
+	}
+	var p Path
+	for _, raw := range strings.Split(s[1:], "/") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			return Path{}, fmt.Errorf("xmlstore: empty path step in %q", s)
+		}
+		if strings.HasPrefix(raw, "@") {
+			if p.Attr != "" {
+				return Path{}, fmt.Errorf("xmlstore: attribute step must be last in %q", s)
+			}
+			p.Attr = raw[1:]
+			continue
+		}
+		if p.Attr != "" {
+			return Path{}, fmt.Errorf("xmlstore: steps after attribute in %q", s)
+		}
+		step, err := parseStep(raw)
+		if err != nil {
+			return Path{}, err
+		}
+		p.Steps = append(p.Steps, step)
+	}
+	return p, nil
+}
+
+func parseStep(raw string) (Step, error) {
+	var st Step
+	name := raw
+	for {
+		open := strings.Index(name, "[")
+		if open < 0 {
+			break
+		}
+		closeIdx := strings.Index(name, "]")
+		if closeIdx < open {
+			return Step{}, fmt.Errorf("xmlstore: unbalanced predicate in %q", raw)
+		}
+		pred := name[open+1 : closeIdx]
+		name = name[:open] + name[closeIdx+1:]
+		if !strings.HasPrefix(pred, "@") {
+			return Step{}, fmt.Errorf("xmlstore: only attribute predicates supported: %q", pred)
+		}
+		eq := strings.Index(pred, "=")
+		if eq < 0 {
+			return Step{}, fmt.Errorf("xmlstore: predicate needs '=': %q", pred)
+		}
+		val, err := unquote(strings.TrimSpace(pred[eq+1:]))
+		if err != nil {
+			return Step{}, err
+		}
+		st.Tests = append(st.Tests, AttrTest{
+			Name:  strings.TrimSpace(pred[1:eq]),
+			Value: val,
+		})
+	}
+	st.Tag = strings.TrimSpace(name)
+	if st.Tag == "" {
+		return Step{}, fmt.Errorf("xmlstore: empty tag in step %q", raw)
+	}
+	return st, nil
+}
+
+// Compile translates the FLWOR into a conjunctive query over the shredded
+// relations of the given prefix. The head predicate is headPred with one
+// column per return path (the element text or attribute value).
+func (q *FLWOR) Compile(prefix, headPred string) (lang.CQ, error) {
+	c := &compiler{prefix: prefix, vs: lang.NewVarSupply("_n")}
+	// The `for` path walks from the root.
+	node := c.root()
+	var err error
+	node, err = c.walk(node, q.In.Steps)
+	if err != nil {
+		return lang.CQ{}, err
+	}
+	// Where clauses.
+	for _, w := range q.Wheres {
+		val, err := c.value(node, w.Path)
+		if err != nil {
+			return lang.CQ{}, err
+		}
+		c.cq.Comps = append(c.cq.Comps, lang.Comparison{Op: w.Op, L: val, R: lang.Const(w.Val)})
+	}
+	// Return columns.
+	var head []lang.Term
+	for _, rp := range q.Return {
+		val, err := c.value(node, rp)
+		if err != nil {
+			return lang.CQ{}, err
+		}
+		head = append(head, val)
+	}
+	c.cq.Head = lang.Atom{Pred: headPred, Args: head}
+	return c.cq, nil
+}
+
+type compiler struct {
+	prefix string
+	vs     *lang.VarSupply
+	cq     lang.CQ
+}
+
+// root introduces the document-root variable (any element with no parent
+// constraint; the root tag is matched by the first step).
+func (c *compiler) root() lang.Term {
+	return c.vs.FreshLike(lang.Var("root"))
+}
+
+// walk emits child/elem atoms for a sequence of steps starting at node.
+// The first step binds the start node itself (the document element).
+func (c *compiler) walk(node lang.Term, steps []Step) (lang.Term, error) {
+	if len(steps) == 0 {
+		return node, fmt.Errorf("xmlstore: empty path")
+	}
+	// First step: node IS the document element with this tag.
+	c.emitElem(node, steps[0])
+	cur := node
+	for _, st := range steps[1:] {
+		child := c.vs.FreshLike(lang.Var("nd"))
+		c.cq.Body = append(c.cq.Body, lang.NewAtom(RelChild(c.prefix), cur, child))
+		c.emitElem(child, st)
+		cur = child
+	}
+	return cur, nil
+}
+
+func (c *compiler) emitElem(node lang.Term, st Step) {
+	c.cq.Body = append(c.cq.Body, lang.NewAtom(RelElem(c.prefix), node, lang.Const(st.Tag)))
+	for _, at := range st.Tests {
+		c.cq.Body = append(c.cq.Body,
+			lang.NewAtom(RelAttr(c.prefix), node, lang.Const(at.Name), lang.Const(at.Value)))
+	}
+}
+
+// value emits atoms producing the value of a relative path from node: the
+// text of the final element, or an attribute.
+func (c *compiler) value(node lang.Term, p Path) (lang.Term, error) {
+	cur := node
+	for _, st := range p.Steps {
+		child := c.vs.FreshLike(lang.Var("nd"))
+		c.cq.Body = append(c.cq.Body, lang.NewAtom(RelChild(c.prefix), cur, child))
+		c.emitElem(child, st)
+		cur = child
+	}
+	val := c.vs.FreshLike(lang.Var("val"))
+	if p.Attr != "" {
+		c.cq.Body = append(c.cq.Body,
+			lang.NewAtom(RelAttr(c.prefix), cur, lang.Const(p.Attr), val))
+	} else {
+		c.cq.Body = append(c.cq.Body, lang.NewAtom(RelText(c.prefix), cur, val))
+	}
+	return val, nil
+}

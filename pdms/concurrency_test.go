@@ -1,0 +1,88 @@
+package pdms
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentQueryAndMutation exercises the Network's lock discipline:
+// concurrent queries, fact insertions and extensions must not race (run
+// with -race) and queries must always see a consistent specification.
+func TestConcurrentQueryAndMutation(t *testing.T) {
+	net, err := Load(`
+storage A.r(x) in A:R(x)
+include A:R(x) in B:S(x)
+fact A.r("seed")
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if i%2 == 0 {
+					if err := net.AddFact("A.r", fmt.Sprintf("v%d_%d", i, j)); err != nil {
+						errs <- err
+						return
+					}
+				} else {
+					rows, err := net.Query(`q(x) :- B:S(x)`)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if len(rows) == 0 {
+						errs <- fmt.Errorf("lost the seed fact")
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Final state: 1 seed + 4 writers × 20 facts.
+	rows, err := net.Query(`q(x) :- A:R(x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 81 {
+		t.Fatalf("rows = %d, want 81", len(rows))
+	}
+}
+
+// TestConcurrentExtend verifies Extend is serialized against queries.
+func TestConcurrentExtend(t *testing.T) {
+	net, err := Load(`
+storage A.r(x) in A:R(x)
+fact A.r("1")
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			_ = net.Extend(fmt.Sprintf(`include A:R(x) in Peer%d:S(x)`, i))
+		}(i)
+		go func() {
+			defer wg.Done()
+			_, _ = net.Query(`q(x) :- A:R(x)`)
+		}()
+	}
+	wg.Wait()
+	st := net.Stats()
+	if st.Inclusions != 4 {
+		t.Fatalf("inclusions = %d, want 4", st.Inclusions)
+	}
+}

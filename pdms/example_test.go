@@ -1,0 +1,70 @@
+package pdms_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/pdms"
+)
+
+// Example demonstrates the three-statement quick start: a storage
+// description, a definitional mapping, and a fact.
+func Example() {
+	net, err := pdms.Load(`
+		storage FH.doc(sid, loc) in FH:Doctor(sid, loc)
+		define  H:Doctor(sid, loc) :- FH:Doctor(sid, loc)
+		fact    FH.doc("d07", "er")
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ans, err := net.Query(`q(sid) :- H:Doctor(sid, "er")`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ans)
+	// Output: [(d07)]
+}
+
+// ExampleNetwork_Reformulate shows inspecting the rewriting rather than
+// executing it.
+func ExampleNetwork_Reformulate() {
+	net, err := pdms.Load(`
+		storage FH.doc(sid, loc) in FH:Doctor(sid, loc)
+		define  H:Doctor(sid, loc) :- FH:Doctor(sid, loc)
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := net.Reformulate(`q(sid) :- H:Doctor(sid, loc)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ref.Rewriting.Len(), "rewriting over stored relations")
+	fmt.Println(ref.Classification.Class)
+	// Output:
+	// 1 rewriting over stored relations
+	// PTIME
+}
+
+// ExampleNetwork_Extend shows ad hoc extensibility: a new peer joins a
+// running network with one statement and immediately sees existing data.
+func ExampleNetwork_Extend() {
+	net, err := pdms.Load(`
+		storage FH.doc(sid, loc) in FH:Doctor(sid, loc)
+		define  H:Doctor(sid, loc) :- FH:Doctor(sid, loc)
+		fact    FH.doc("d07", "er")
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := net.Extend(`include H:Doctor(s, l) in ECC:Medic(s, l)`); err != nil {
+		log.Fatal(err)
+	}
+	ans, err := net.Query(`q(s) :- ECC:Medic(s, l)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ans)
+	// Output: [(d07)]
+}

@@ -1,0 +1,247 @@
+// Package pdms is the public API of the peer data management system: build
+// a network of peers, schemas, semantic mappings and stored data — either
+// programmatically or from the textual PPL format — then pose conjunctive
+// queries at any peer, reformulate them onto stored relations (Halevy, Ives,
+// Suciu, Tatarinov: "Schema Mediation in Peer Data Management Systems",
+// ICDE 2003), and execute them.
+//
+// Quick start:
+//
+//	net, err := pdms.Load(`
+//	    storage FH.doc(s, l) in FH:Doctor(s, l)
+//	    define H:Doctor(s, l) :- FH:Doctor(s, l)
+//	    fact FH.doc("d1", "er")
+//	`)
+//	ans, err := net.Query(`q(s) :- H:Doctor(s, l)`)
+package pdms
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/chase"
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/parser"
+	"repro/internal/ppl"
+	"repro/internal/rel"
+)
+
+// Network is a PDMS instance: the specification plus stored data.
+// Construct with New or Load. Queries, reformulations and mutations
+// (Extend, AddFact) may be issued concurrently; mutations take a write
+// lock, reads share a read lock.
+type Network struct {
+	mu   sync.RWMutex
+	spec *ppl.PDMS
+	data *rel.Instance
+	opts Options
+}
+
+// Options tunes reformulation. The zero value enables every optimization
+// from Section 4.3 of the paper and extracts all rewritings.
+type Options struct {
+	// MaxNodes caps rule-goal tree size (0 = default 2,000,000).
+	MaxNodes int
+	// MaxRewritings caps the number of conjunctive rewritings (0 = all).
+	MaxRewritings int
+	// DisableMemo, DisablePruning, DisablePriority switch off the
+	// corresponding Section 4.3 optimizations (for ablation studies).
+	DisableMemo     bool
+	DisablePruning  bool
+	DisablePriority bool
+	// KeepRedundant keeps rewritings subsumed by others.
+	KeepRedundant bool
+}
+
+func (o Options) core() core.Options {
+	return core.Options{
+		MaxNodes:      o.MaxNodes,
+		MaxRewritings: o.MaxRewritings,
+		NoMemo:        o.DisableMemo,
+		NoPruneUnsat:  o.DisablePruning,
+		NoPriority:    o.DisablePriority,
+		KeepRedundant: o.KeepRedundant,
+	}
+}
+
+// New returns an empty network with the given options.
+func New(opts Options) *Network {
+	return &Network{spec: ppl.New(), data: rel.NewInstance(), opts: opts}
+}
+
+// Load parses a PPL specification (schema declarations, mappings, storage
+// descriptions and facts) into a fresh network with default options.
+func Load(src string) (*Network, error) {
+	return LoadWithOptions(src, Options{})
+}
+
+// LoadWithOptions is Load with explicit options.
+func LoadWithOptions(src string, opts Options) (*Network, error) {
+	res, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{spec: res.PDMS, data: res.Data, opts: opts}, nil
+}
+
+// Extend parses additional PPL statements into an existing network — the
+// paper's ad hoc extensibility: new peers, mappings and data can join at
+// any time (Example 1.1's Earthquake Command Center scenario).
+func (n *Network) Extend(src string) error {
+	res, err := parser.Parse(src)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	// Merge declarations, mappings, storage and data.
+	for _, name := range res.PDMS.RelationNames() {
+		if err := n.spec.DeclareRelation(*res.PDMS.Relation(name)); err != nil {
+			return err
+		}
+	}
+	for _, m := range res.PDMS.Mappings() {
+		m.ID = "" // re-assign in this network's ID space
+		if err := n.spec.AddMapping(m); err != nil {
+			return err
+		}
+	}
+	for _, s := range res.PDMS.Storages() {
+		s.ID = ""
+		if err := n.spec.AddStorage(s); err != nil {
+			return err
+		}
+	}
+	for _, pred := range res.Data.Relations() {
+		for _, t := range res.Data.Relation(pred).Tuples() {
+			if _, err := n.data.Add(pred, t); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Spec exposes the underlying PPL specification (read-only use intended).
+func (n *Network) Spec() *ppl.PDMS { return n.spec }
+
+// Data exposes the stored-relation instance (read-only use intended).
+func (n *Network) Data() *rel.Instance { return n.data }
+
+// AddFact inserts a tuple into a stored relation.
+func (n *Network) AddFact(stored string, values ...string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.spec.IsStored(stored) {
+		return fmt.Errorf("pdms: %q is not a declared stored relation", stored)
+	}
+	_, err := n.data.Add(stored, rel.Tuple(values))
+	return err
+}
+
+// Answer is a query result row.
+type Answer = rel.Tuple
+
+// Reformulation is the outcome of reformulating one query.
+type Reformulation struct {
+	// Rewriting is the union of conjunctive queries over stored relations.
+	Rewriting lang.UCQ
+	// Stats reports rule-goal tree metrics.
+	Stats core.Stats
+	// Classification is the Theorem 3.1–3.3 complexity classification; the
+	// rewriting is complete (all certain answers) exactly when this is
+	// PTIME.
+	Classification ppl.Classification
+}
+
+// Reformulate reformulates a textual query ("q(x) :- H:Doctor(x, l)") into
+// a union of conjunctive queries over stored relations.
+func (n *Network) Reformulate(query string) (*Reformulation, error) {
+	q, err := parser.ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	return n.ReformulateCQ(q)
+}
+
+// ReformulateCQ is Reformulate for an already-parsed query.
+func (n *Network) ReformulateCQ(q lang.CQ) (*Reformulation, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	r, err := core.New(n.spec, n.opts.core())
+	if err != nil {
+		return nil, err
+	}
+	out, err := r.Reformulate(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Reformulation{
+		Rewriting:      out.UCQ,
+		Stats:          out.Stats,
+		Classification: out.Classification,
+	}, nil
+}
+
+// Query reformulates and executes a textual query over the stored data,
+// returning the certain answers (all of them when the specification is in
+// the tractable fragment).
+func (n *Network) Query(query string) ([]Answer, error) {
+	ref, err := n.Reformulate(query)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	rows, err := rel.EvalUCQ(ref.Rewriting, n.data)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Answer, len(rows))
+	for i, t := range rows {
+		out[i] = Answer(t)
+	}
+	return out, nil
+}
+
+// CertainAnswers computes certain answers directly via the chase oracle
+// (test/validation path; exponentially slower than Query on large data but
+// independent of the reformulation algorithm). Only supported on
+// specifications in the tractable fragment.
+func (n *Network) CertainAnswers(query string) ([]Answer, error) {
+	q, err := parser.ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	rows, err := chase.CertainAnswers(n.spec, n.data, q, chase.Options{})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Answer, len(rows))
+	for i, t := range rows {
+		out[i] = Answer(t)
+	}
+	return out, nil
+}
+
+// Classify reports the data complexity of certain-answer computation for
+// this network and query per Theorems 3.1–3.3.
+func (n *Network) Classify(query string) (ppl.Classification, error) {
+	q, err := parser.ParseQuery(query)
+	if err != nil {
+		return ppl.Classification{}, err
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.spec.Classify(q), nil
+}
+
+// Stats summarizes the specification.
+func (n *Network) Stats() ppl.Stats {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.spec.Stats()
+}
