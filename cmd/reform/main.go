@@ -15,9 +15,9 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/lang"
 	"repro/internal/parser"
-	"repro/internal/rel"
 )
 
 func main() {
@@ -60,6 +60,7 @@ func run(path, queryArg string, exec bool, first int, tree bool) error {
 	if err != nil {
 		return err
 	}
+	eng := engine.New(res.Data)
 	for i, q := range queries {
 		fmt.Printf("query %d: %s\n", i+1, q)
 		if tree {
@@ -85,7 +86,7 @@ func run(path, queryArg string, exec bool, first int, tree bool) error {
 			fmt.Printf("    %s\n", d)
 		}
 		if exec {
-			rows, err := rel.EvalUCQ(out.UCQ, res.Data)
+			rows, err := eng.EvalUCQ(out.UCQ)
 			if err != nil {
 				return err
 			}

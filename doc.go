@@ -8,4 +8,14 @@
 // README.md for the architecture overview, DESIGN.md for the system
 // inventory and per-experiment index, and EXPERIMENTS.md for the
 // paper-vs-measured record.
+//
+// Query execution — which the paper leaves out of scope — runs through the
+// indexed engine in internal/engine: lazily-built per-relation hash
+// indexes (one per probed bound-position set, maintained incrementally
+// from the relation's insert log), a greedy selectivity-ordered join
+// planner, and an LRU of compiled plans keyed by canonicalized query.
+// pdms.Network adds a mutation-invalidated answer cache on top: answers
+// are cached per canonical query under a generation counter that Extend
+// and AddFact bump, so no reader ever sees a stale answer. The naive
+// evaluator in internal/rel remains as the differential-testing oracle.
 package repro

@@ -11,9 +11,9 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/lang"
-	"repro/internal/rel"
 	"repro/internal/workload"
 )
 
@@ -81,7 +81,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rows, err := rel.EvalUCQ(out.UCQ, w.Data)
+	rows, err := engine.New(w.Data).EvalUCQ(out.UCQ)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,7 +11,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/rel"
+	"repro/internal/engine"
 	"repro/internal/xmlstore"
 	"repro/pdms"
 )
@@ -48,7 +48,7 @@ func main() {
 	}
 	fmt.Println("\nFLWOR compiled to the conjunctive query:")
 	fmt.Println(" ", cq)
-	rows, err := rel.EvalCQ(cq, sh.Data)
+	rows, err := engine.New(sh.Data).EvalCQ(cq)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -28,6 +28,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/lang"
 	"repro/internal/ppl"
 	"repro/internal/rel"
@@ -63,7 +64,7 @@ func CertainAnswers(n *ppl.PDMS, data *rel.Instance, q lang.CQ, opts Options) ([
 	if err != nil {
 		return nil, err
 	}
-	rows, err := rel.EvalCQ(q, inst)
+	rows, err := engine.New(inst).EvalCQ(q)
 	if err != nil {
 		return nil, err
 	}
@@ -96,6 +97,10 @@ func Chase(n *ppl.PDMS, data *rel.Instance, opts Options) (*rel.Instance, error)
 		maxRounds = 10_000
 	}
 	inst := data.Clone()
+	// One engine for the whole chase: TGD-body matching and the head-
+	// satisfaction checks run as indexed joins, with indexes catching up
+	// incrementally as fired TGDs add tuples.
+	eng := engine.New(inst)
 	nulls := 0
 	freshNull := func() string {
 		nulls++
@@ -107,12 +112,16 @@ func Chase(n *ppl.PDMS, data *rel.Instance, opts Options) (*rel.Instance, error)
 		}
 		fired := false
 		for _, d := range tgds {
-			matches, err := findMatches(d, inst)
+			matches, err := findMatches(d, eng)
 			if err != nil {
 				return nil, err
 			}
 			for _, s := range matches {
-				if headSatisfied(d, s, inst) {
+				sat, err := headSatisfied(d, s, eng)
+				if err != nil {
+					return nil, err
+				}
+				if sat {
 					continue
 				}
 				// Fire: fresh nulls for existential head variables.
@@ -188,100 +197,42 @@ func buildTGDs(n *ppl.PDMS) ([]*tgd, error) {
 	return out, nil
 }
 
-// findMatches enumerates substitutions grounding the TGD body in inst.
-// Comparisons must be fully ground at match time and must not involve
-// nulls (a comparison over an unknown value is not certainly true).
-func findMatches(d *tgd, inst *rel.Instance) ([]lang.Subst, error) {
+// findMatches enumerates substitutions grounding the TGD body via the
+// engine's indexed joins. Comparisons must be fully ground at match time
+// and must not involve nulls (a comparison over an unknown value is not
+// certainly true).
+func findMatches(d *tgd, eng *engine.Engine) ([]lang.Subst, error) {
 	var out []lang.Subst
-	var rec func(i int, s lang.Subst) error
-	rec = func(i int, s lang.Subst) error {
-		if i == len(d.body) {
-			for _, c := range d.comps {
-				g := s.ApplyComparison(c)
-				if g.L.IsVar() || g.R.IsVar() {
-					return fmt.Errorf("chase: comparison %s not bound by body of %s", c, d.id)
-				}
-				if IsNull(g.L.Name) || IsNull(g.R.Name) {
-					return nil // not certainly satisfied
-				}
-				if !g.Op.EvalConst(g.L, g.R) {
-					return nil
-				}
+	err := eng.Enumerate(d.body, nil, func(s lang.Subst) error {
+		for _, c := range d.comps {
+			g := s.ApplyComparison(c)
+			if g.L.IsVar() || g.R.IsVar() {
+				return fmt.Errorf("chase: comparison %s not bound by body of %s", c, d.id)
 			}
-			out = append(out, s.Clone())
-			return nil
-		}
-		atom := d.body[i]
-		r := inst.Relation(atom.Pred)
-		if r == nil {
-			return nil
-		}
-		if r.Arity != atom.Arity() {
-			return fmt.Errorf("chase: atom %s arity %d vs relation %d", atom, atom.Arity(), r.Arity)
-		}
-	next:
-		for _, tup := range r.Tuples() {
-			s2 := s.Clone()
-			for j, arg := range atom.Args {
-				b := s2.Apply(arg)
-				if b.IsConst() {
-					if b.Name != tup[j] {
-						continue next
-					}
-					continue
-				}
-				s2[b.Name] = lang.Const(tup[j])
+			if IsNull(g.L.Name) || IsNull(g.R.Name) {
+				return nil // not certainly satisfied
 			}
-			if err := rec(i+1, s2); err != nil {
-				return err
+			if !g.Op.EvalConst(g.L, g.R) {
+				return nil
 			}
 		}
+		out = append(out, s)
 		return nil
-	}
-	if err := rec(0, lang.NewSubst()); err != nil {
+	})
+	if err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-// headSatisfied reports whether the TGD head already holds in inst under
-// some extension of s binding the existential head variables (the standard-
+// headSatisfied reports whether the TGD head already holds under some
+// extension of s binding the existential head variables (the standard-
 // chase applicability test, which keeps the chase terminating on acyclic
-// specifications and lean on cyclic projection-free ones).
-func headSatisfied(d *tgd, s lang.Subst, inst *rel.Instance) bool {
-	var rec func(i int, s lang.Subst) bool
-	rec = func(i int, s lang.Subst) bool {
-		if i == len(d.head) {
-			return true
-		}
-		atom := d.head[i]
-		r := inst.Relation(atom.Pred)
-		if r == nil {
-			return false
-		}
-		if r.Arity != atom.Arity() {
-			return false
-		}
-	next:
-		for _, tup := range r.Tuples() {
-			s2 := s.Clone()
-			for j, arg := range atom.Args {
-				b := s2.Apply(arg)
-				if b.IsConst() {
-					if b.Name != tup[j] {
-						continue next
-					}
-					continue
-				}
-				s2[b.Name] = lang.Const(tup[j])
-			}
-			if rec(i+1, s2) {
-				return true
-			}
-		}
-		return false
-	}
-	return rec(0, s)
+// specifications and lean on cyclic projection-free ones). Grounding the
+// head first makes the engine probe indexes on the ground positions;
+// ExistsMatch compiles without caching since every grounding is one-shot.
+func headSatisfied(d *tgd, s lang.Subst, eng *engine.Engine) (bool, error) {
+	return eng.ExistsMatch(s.ApplyAtoms(d.head))
 }
 
 // Nulls counts the labeled nulls in an instance (diagnostics for tests).

@@ -1,0 +1,46 @@
+// Package engine is the indexed query-execution subsystem: it evaluates
+// conjunctive queries (CQs), unions of conjunctive queries (UCQs) and
+// datalog programs over rel.Instance data using hash indexes and planned
+// join orders, replacing the naive nested-loop evaluator in package rel on
+// every hot path (pdms.Query, the netpeer server and executor, the chase
+// oracle, cmd/reform). rel.EvalCQ remains the reference oracle the engine
+// is differentially tested against.
+//
+// # Architecture
+//
+// Indexes. Each relation gets hash indexes lazily, one per bound-position
+// set actually probed: the index key is the tuple's projection onto those
+// columns, the value a bucket of matching tuples. Relations expose an
+// append-only insert log (rel.Relation.Version / AddedSince), so an index
+// is maintained incrementally — a probe first consumes the log suffix the
+// index has not seen, then answers from its buckets. Tuples are never
+// deleted (set semantics, monotone growth), which is what makes the
+// log-suffix catch-up complete.
+//
+// Planning. A conjunctive query is compiled to a Plan: body atoms are
+// greedily reordered by estimated cost — relation cardinality discounted
+// exponentially per bound argument (a bound position becomes an index-probe
+// column) — and each atom is lowered to either an index probe (some
+// positions bound by constants or earlier steps) or a full scan (none).
+// Variable bindings live in a flat slot array rather than substitution
+// maps; comparison predicates are attached to the earliest step that binds
+// their variables, pruning as soon as possible.
+//
+// Plan cache. Compiled plans are cached in an LRU keyed by the query's
+// canonical form (lang.CQ.Canonical), so repeated evaluation of identical
+// rewritings — the common case once reformulation fans a query into a UCQ —
+// skips planning entirely. A PlanCache may be shared across engines: plans
+// fix only join order and probe shapes, never data, so cross-instance reuse
+// is sound (the netpeer executor shares one cache across its per-join
+// scratch engines).
+//
+// Datalog. EvalDatalog runs semi-naive evaluation with one compiled plan
+// per (rule, pivot-atom) pair: the pivot scans the previous round's delta,
+// the remaining atoms probe indexes on the accumulating total instance.
+//
+// Invalidation. The engine itself never serves stale data — indexes catch
+// up from the relation log on every probe. Answer-level caching (and its
+// mutation-generation invalidation) lives one layer up, in pdms.Network,
+// which keys cached answers by a generation counter bumped on Extend and
+// AddFact.
+package engine

@@ -1,0 +1,379 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lang"
+	"repro/internal/rel"
+)
+
+// ErrStop is returned by an Enumerate yield callback to stop enumeration
+// early without error.
+var ErrStop = errors.New("engine: stop enumeration")
+
+// PlanCache caches compiled plans keyed by canonicalized query. One cache
+// may be shared by several engines (e.g. netpeer's executor creates a
+// scratch engine per cross-peer join but reuses plans across calls): a plan
+// fixes only the join order and probe shapes, never data, so reuse across
+// instances is always sound.
+type PlanCache struct {
+	lru *LRU
+}
+
+// NewPlanCache returns a plan cache holding at most capacity plans.
+func NewPlanCache(capacity int) *PlanCache { return &PlanCache{lru: NewLRU(capacity)} }
+
+// Stats reports cumulative plan-cache hits and misses.
+func (pc *PlanCache) Stats() CacheStats { return pc.lru.Stats() }
+
+// Stats are cumulative engine counters (observability and tests).
+type Stats struct {
+	// Probes counts index-probe step entries; Scans counts full-scan step
+	// entries.
+	Probes, Scans uint64
+	// PlansCompiled counts plan compilations (cache misses).
+	PlansCompiled uint64
+	// IndexesBuilt counts distinct (relation, column-set) indexes created.
+	IndexesBuilt uint64
+}
+
+// index is a hash index over one relation for one bound-position set:
+// the key projects the tuple onto cols, buckets hold the matching tuples.
+// Indexes are built lazily on first probe and maintained incrementally by
+// consuming the relation's append-only insert log.
+type index struct {
+	cols     []int
+	consumed uint64
+	buckets  map[string][]rel.Tuple
+}
+
+// appendKeyPart appends one key component with a length prefix, so
+// composite keys are collision-free even for values containing the
+// delimiter bytes themselves ("a\x00b","c" vs "a","b\x00c"). Probe-path key
+// assembly in run() must use this same encoding.
+func appendKeyPart(dst []byte, v string) []byte {
+	dst = strconv.AppendInt(dst, int64(len(v)), 10)
+	dst = append(dst, ':')
+	return append(dst, v...)
+}
+
+func bucketKey(t rel.Tuple, cols []int) string {
+	if len(cols) == 1 {
+		return t[cols[0]]
+	}
+	var key []byte
+	for _, c := range cols {
+		key = appendKeyPart(key, t[c])
+	}
+	return string(key)
+}
+
+// Engine evaluates conjunctive queries, unions of conjunctive queries and
+// datalog programs over a rel.Instance using lazily-built hash indexes and
+// greedy selectivity-ordered join plans. It is the indexed replacement for
+// the naive evaluator in package rel (which remains the reference oracle).
+//
+// Concurrency: concurrent evaluations are safe with each other; mutations
+// of the underlying instance require the same external synchronization the
+// instance itself demands (readers excluded while a writer runs). Indexes
+// catch up with inserts on the next probe.
+type Engine struct {
+	ins   *rel.Instance
+	plans *PlanCache
+
+	// mu guards indexes. Probes take the read lock on the fast path (index
+	// exists and has consumed the whole relation log) so concurrent
+	// evaluations don't serialize; the write lock is only taken to create
+	// or catch up an index.
+	mu      sync.RWMutex
+	indexes map[string]map[string]*index // pred -> column-set key -> index
+
+	probes        atomic.Uint64
+	scans         atomic.Uint64
+	plansCompiled atomic.Uint64
+	indexesBuilt  atomic.Uint64
+}
+
+// New returns an engine over ins with a private plan cache.
+func New(ins *rel.Instance) *Engine {
+	return NewWithPlanCache(ins, NewPlanCache(1024))
+}
+
+// NewWithPlanCache returns an engine over ins sharing the given plan cache.
+func NewWithPlanCache(ins *rel.Instance, pc *PlanCache) *Engine {
+	if pc == nil {
+		pc = NewPlanCache(1024)
+	}
+	return &Engine{ins: ins, plans: pc, indexes: map[string]map[string]*index{}}
+}
+
+// Instance returns the underlying instance.
+func (e *Engine) Instance() *rel.Instance { return e.ins }
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Probes:        e.probes.Load(),
+		Scans:         e.scans.Load(),
+		PlansCompiled: e.plansCompiled.Load(),
+		IndexesBuilt:  e.indexesBuilt.Load(),
+	}
+}
+
+// card estimates a relation's cardinality (0 when absent).
+func (e *Engine) card(pred string) int {
+	if r := e.ins.Relation(pred); r != nil {
+		return r.Len()
+	}
+	return 0
+}
+
+// probe returns the tuples of r whose projection onto cols equals key,
+// building or catching up the (r, cols) index as needed.
+func (e *Engine) probe(r *rel.Relation, cols []int, key string) []rel.Tuple {
+	ck := colsKey(cols)
+	// Fast path: the index exists and is current — answer under the read
+	// lock so concurrent evaluations proceed in parallel.
+	e.mu.RLock()
+	idx := e.indexes[r.Name][ck]
+	if idx != nil && idx.consumed == r.Version() {
+		b := idx.buckets[key]
+		e.mu.RUnlock()
+		return b
+	}
+	e.mu.RUnlock()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	byCols := e.indexes[r.Name]
+	if byCols == nil {
+		byCols = map[string]*index{}
+		e.indexes[r.Name] = byCols
+	}
+	idx = byCols[ck]
+	if idx == nil {
+		idx = &index{cols: cols, buckets: map[string][]rel.Tuple{}}
+		byCols[ck] = idx
+		e.indexesBuilt.Add(1)
+	}
+	added := r.AddedSince(idx.consumed)
+	for _, t := range added {
+		k := bucketKey(t, cols)
+		idx.buckets[k] = append(idx.buckets[k], t)
+	}
+	idx.consumed += uint64(len(added))
+	return idx.buckets[key]
+}
+
+func colsKey(cols []int) string {
+	var sb strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(c))
+	}
+	return sb.String()
+}
+
+// plan fetches a compiled plan from the cache under key, compiling q on a
+// miss. EvalCQ/EvalUCQ key by the alpha-renamed canonical form (answers are
+// invariant under variable renaming and emission is slot-based); Enumerate
+// must key by the literal query instead, because its substitutions expose
+// the plan's variable names.
+func (e *Engine) plan(key string, q lang.CQ) (*Plan, error) {
+	if v, ok := e.plans.lru.Get(key); ok {
+		return v.(*Plan), nil
+	}
+	p, err := e.compile(q, -1)
+	if err != nil {
+		return nil, err
+	}
+	e.plans.lru.Put(key, p)
+	return p, nil
+}
+
+// EvalCQ evaluates a conjunctive query with set semantics and returns the
+// distinct head tuples, sorted — the indexed equivalent of rel.EvalCQ.
+func (e *Engine) EvalCQ(q lang.CQ) ([]rel.Tuple, error) {
+	p, err := e.plan(q.Canonical(), q)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []rel.Tuple
+	err = e.run(p, nil, func(slots []string) error {
+		head := make(rel.Tuple, len(p.head))
+		for i, h := range p.head {
+			if h.slot >= 0 {
+				head[i] = slots[h.slot]
+			} else {
+				head[i] = h.constVal
+			}
+		}
+		if k := head.Key(); !seen[k] {
+			seen[k] = true
+			out = append(out, head)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out, nil
+}
+
+// EvalUCQ evaluates a union of conjunctive queries, returning the distinct
+// union of the disjuncts' answers, sorted — the indexed equivalent of
+// rel.EvalUCQ.
+func (e *Engine) EvalUCQ(u lang.UCQ) ([]rel.Tuple, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	groups := make([][]rel.Tuple, len(u.Disjuncts))
+	for i, q := range u.Disjuncts {
+		rows, err := e.EvalCQ(q)
+		if err != nil {
+			return nil, err
+		}
+		groups[i] = rows
+	}
+	return rel.DistinctSorted(groups...), nil
+}
+
+// Enumerate invokes yield once per substitution grounding every atom of
+// body in the instance (comparisons in comps are applied as filters once
+// bound). Returning ErrStop from yield ends the enumeration without error.
+// This is the indexed substrate for callers that need raw matches rather
+// than head tuples (the chase's TGD matching).
+func (e *Engine) Enumerate(body []lang.Atom, comps []lang.Comparison, yield func(lang.Subst) error) error {
+	var head []lang.Term
+	for _, a := range body {
+		head = a.Vars(head)
+	}
+	q := lang.CQ{Head: lang.Atom{Pred: "_enum", Args: head}, Body: body, Comps: comps}
+	// Literal key, NOT Canonical(): two alpha-equivalent bodies with
+	// different variable names must not share a plan here, since the
+	// yielded substitutions carry the plan's variable names.
+	p, err := e.plan("enum|"+q.String(), q)
+	if err != nil {
+		return err
+	}
+	err = e.run(p, nil, func(slots []string) error {
+		s := lang.NewSubst()
+		for i, name := range p.slotNames {
+			s[name] = lang.Const(slots[i])
+		}
+		return yield(s)
+	})
+	if errors.Is(err, ErrStop) {
+		return nil
+	}
+	return err
+}
+
+// ExistsMatch reports whether at least one substitution grounds every atom
+// in the instance. Unlike Enumerate it never caches the plan: its intended
+// callers (the chase's head-satisfaction test) embed per-match constants,
+// so each query is one-shot and caching would only churn the plan LRU.
+func (e *Engine) ExistsMatch(atoms []lang.Atom) (bool, error) {
+	var head []lang.Term
+	for _, a := range atoms {
+		head = a.Vars(head)
+	}
+	q := lang.CQ{Head: lang.Atom{Pred: "_exists", Args: head}, Body: atoms}
+	p, err := e.compile(q, -1)
+	if err != nil {
+		return false, err
+	}
+	found := false
+	err = e.run(p, nil, func([]string) error {
+		found = true
+		return ErrStop
+	})
+	if err != nil && !errors.Is(err, ErrStop) {
+		return false, err
+	}
+	return found, nil
+}
+
+// EvalDatalog computes the least fixpoint of the datalog program given by
+// rules over base using semi-naive evaluation with indexed joins: per round
+// the pivot atom scans the previous round's delta and the remaining atoms
+// probe hash indexes on the accumulating total instance. It returns a new
+// instance containing base plus all derived facts — the indexed equivalent
+// of rel.EvalDatalog.
+func EvalDatalog(rules []lang.CQ, base *rel.Instance) (*rel.Instance, error) {
+	for _, r := range rules {
+		if !r.IsSafe() {
+			return nil, fmt.Errorf("engine: unsafe rule %s", r)
+		}
+	}
+	total := base.Clone()
+	e := New(total)
+
+	// One plan per (rule, pivot): the pivot atom is forced first and reads
+	// the round's delta; the rest are ordered greedily and probe total.
+	type pivotPlan struct {
+		rule lang.CQ
+		plan *Plan
+	}
+	var plans []pivotPlan
+	for _, rule := range rules {
+		for pivot := range rule.Body {
+			p, err := e.compile(rule, pivot)
+			if err != nil {
+				return nil, err
+			}
+			plans = append(plans, pivotPlan{rule: rule, plan: p})
+		}
+	}
+
+	delta := base.Clone()
+	for {
+		next := rel.NewInstance()
+		for _, pp := range plans {
+			if delta.Relation(pp.plan.steps[0].pred) == nil {
+				continue
+			}
+			p := pp.plan
+			err := e.run(p, delta, func(slots []string) error {
+				tup := make(rel.Tuple, len(p.head))
+				for i, h := range p.head {
+					if h.slot >= 0 {
+						tup[i] = slots[h.slot]
+					} else {
+						tup[i] = h.constVal
+					}
+				}
+				if r := total.Relation(p.headPred); r == nil || !r.Contains(tup) {
+					if _, err := next.Add(p.headPred, tup); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		if next.Size() == 0 {
+			return total, nil
+		}
+		for _, pred := range next.Relations() {
+			for _, t := range next.Relation(pred).Tuples() {
+				if _, err := total.Add(pred, t); err != nil {
+					return nil, err
+				}
+			}
+		}
+		delta = next
+	}
+}

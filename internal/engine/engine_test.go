@@ -1,0 +1,318 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/rel"
+)
+
+func mustEval(t *testing.T, e *Engine, q lang.CQ) []rel.Tuple {
+	t.Helper()
+	rows, err := e.EvalCQ(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestEvalCQSelectiveProbe(t *testing.T) {
+	ins := rel.NewInstance()
+	for i := 0; i < 100; i++ {
+		ins.MustAdd("E", fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i))
+	}
+	e := New(ins)
+	q := lang.CQ{
+		Head: lang.NewAtom("q", lang.Var("y")),
+		Body: []lang.Atom{lang.NewAtom("E", lang.Const("a7"), lang.Var("y"))},
+	}
+	rows := mustEval(t, e, q)
+	if len(rows) != 1 || rows[0][0] != "b7" {
+		t.Fatalf("rows = %v", rows)
+	}
+	st := e.Stats()
+	if st.Probes == 0 {
+		t.Fatalf("selective query should probe an index, stats %+v", st)
+	}
+	if st.Scans != 0 {
+		t.Fatalf("selective query should not scan, stats %+v", st)
+	}
+}
+
+func TestEvalCQJoinMatchesNaive(t *testing.T) {
+	ins := rel.NewInstance()
+	ins.MustAdd("E", "a", "b")
+	ins.MustAdd("E", "b", "c")
+	ins.MustAdd("E", "b", "d")
+	ins.MustAdd("E", "x", "x")
+	e := New(ins)
+	q := lang.CQ{
+		Head: lang.NewAtom("q", lang.Var("x"), lang.Var("z")),
+		Body: []lang.Atom{
+			lang.NewAtom("E", lang.Var("x"), lang.Var("y")),
+			lang.NewAtom("E", lang.Var("y"), lang.Var("z")),
+		},
+	}
+	got := mustEval(t, e, q)
+	want, err := rel.EvalCQ(q, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("engine %v vs naive %v", got, want)
+	}
+}
+
+func TestRepeatedVariableInAtom(t *testing.T) {
+	ins := rel.NewInstance()
+	ins.MustAdd("E", "a", "b")
+	ins.MustAdd("E", "c", "c")
+	e := New(ins)
+	q := lang.CQ{
+		Head: lang.NewAtom("q", lang.Var("x")),
+		Body: []lang.Atom{lang.NewAtom("E", lang.Var("x"), lang.Var("x"))},
+	}
+	rows := mustEval(t, e, q)
+	if len(rows) != 1 || rows[0][0] != "c" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestIncrementalIndexMaintenance(t *testing.T) {
+	ins := rel.NewInstance()
+	ins.MustAdd("E", "a", "1")
+	e := New(ins)
+	q := lang.CQ{
+		Head: lang.NewAtom("q", lang.Var("y")),
+		Body: []lang.Atom{lang.NewAtom("E", lang.Const("a"), lang.Var("y"))},
+	}
+	if rows := mustEval(t, e, q); len(rows) != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Insert after the index exists: the next probe must see the new tuple.
+	ins.MustAdd("E", "a", "2")
+	ins.MustAdd("E", "b", "3")
+	rows := mustEval(t, e, q)
+	if len(rows) != 2 {
+		t.Fatalf("after insert rows = %v", rows)
+	}
+	st := e.Stats()
+	if st.IndexesBuilt != 1 {
+		t.Fatalf("expected one index (incrementally maintained), built %d", st.IndexesBuilt)
+	}
+}
+
+// TestCompositeKeyNoCollision is a regression test: composite index keys
+// must not collide for values containing delimiter bytes. Reachable in
+// practice: AddFact takes arbitrary strings and the netpeer wire carries
+// NUL bytes (JSON \u0000) legally.
+func TestCompositeKeyNoCollision(t *testing.T) {
+	ins := rel.NewInstance()
+	ins.MustAdd("R", "a\x00b", "c", "1")
+	ins.MustAdd("R", "a", "b\x00c", "2")
+	e := New(ins)
+	// Probe cols {0,1} with ("a\x00b","c"): exactly one tuple matches.
+	q := lang.CQ{
+		Head: lang.NewAtom("q", lang.Var("z")),
+		Body: []lang.Atom{lang.NewAtom("R", lang.Const("a\x00b"), lang.Const("c"), lang.Var("z"))},
+	}
+	got := mustEval(t, e, q)
+	want, err := rel.EvalCQ(q, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("engine %v vs naive %v (composite key collision?)", got, want)
+	}
+	if len(got) != 1 || got[0][0] != "1" {
+		t.Fatalf("rows = %v, want [(1)]", got)
+	}
+}
+
+func TestPlanCacheReuse(t *testing.T) {
+	ins := rel.NewInstance()
+	ins.MustAdd("E", "a", "b")
+	e := New(ins)
+	q := lang.CQ{
+		Head: lang.NewAtom("q", lang.Var("y")),
+		Body: []lang.Atom{lang.NewAtom("E", lang.Var("x"), lang.Var("y"))},
+	}
+	mustEval(t, e, q)
+	mustEval(t, e, q)
+	// Alpha-equivalent query shares the plan.
+	q2 := lang.CQ{
+		Head: lang.NewAtom("q", lang.Var("v")),
+		Body: []lang.Atom{lang.NewAtom("E", lang.Var("u"), lang.Var("v"))},
+	}
+	mustEval(t, e, q2)
+	if n := e.Stats().PlansCompiled; n != 1 {
+		t.Fatalf("plans compiled = %d, want 1", n)
+	}
+}
+
+func TestSharedPlanCacheAcrossEngines(t *testing.T) {
+	pc := NewPlanCache(16)
+	q := lang.CQ{
+		Head: lang.NewAtom("q", lang.Var("y")),
+		Body: []lang.Atom{lang.NewAtom("E", lang.Const("a"), lang.Var("y"))},
+	}
+	for i := 0; i < 3; i++ {
+		ins := rel.NewInstance()
+		ins.MustAdd("E", "a", fmt.Sprintf("b%d", i))
+		e := NewWithPlanCache(ins, pc)
+		rows := mustEval(t, e, q)
+		if len(rows) != 1 || rows[0][0] != fmt.Sprintf("b%d", i) {
+			t.Fatalf("engine %d rows = %v", i, rows)
+		}
+	}
+	st := pc.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("plan cache stats = %+v, want 2 hits 1 miss", st)
+	}
+}
+
+func TestUnsafeQueryRejected(t *testing.T) {
+	e := New(rel.NewInstance())
+	q := lang.CQ{Head: lang.NewAtom("q", lang.Var("x"))}
+	if _, err := e.EvalCQ(q); err == nil {
+		t.Fatal("unsafe query accepted")
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	ins := rel.NewInstance()
+	ins.MustAdd("P", "a", "1")
+	ins.MustAdd("P", "b", "5")
+	ins.MustAdd("P", "c", "9")
+	e := New(ins)
+	q := lang.CQ{
+		Head:  lang.NewAtom("q", lang.Var("x")),
+		Body:  []lang.Atom{lang.NewAtom("P", lang.Var("x"), lang.Var("n"))},
+		Comps: []lang.Comparison{{Op: lang.OpGT, L: lang.Var("n"), R: lang.Const("3")}},
+	}
+	rows := mustEval(t, e, q)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestEnumerateAndStop(t *testing.T) {
+	ins := rel.NewInstance()
+	ins.MustAdd("E", "a", "b")
+	ins.MustAdd("E", "b", "c")
+	e := New(ins)
+	body := []lang.Atom{lang.NewAtom("E", lang.Var("x"), lang.Var("y"))}
+	n := 0
+	err := e.Enumerate(body, nil, func(s lang.Subst) error {
+		if s.Apply(lang.Var("x")).IsVar() {
+			t.Fatal("x unbound in enumerated substitution")
+		}
+		n++
+		return nil
+	})
+	if err != nil || n != 2 {
+		t.Fatalf("n = %d, err = %v", n, err)
+	}
+	n = 0
+	err = e.Enumerate(body, nil, func(s lang.Subst) error {
+		n++
+		return ErrStop
+	})
+	if err != nil || n != 1 {
+		t.Fatalf("ErrStop: n = %d, err = %v", n, err)
+	}
+}
+
+// TestEnumerateAlphaEquivalentBodies is a regression test: two bodies that
+// are identical up to variable renaming must each get substitutions under
+// their OWN variable names, not the first-compiled plan's (the plan cache
+// must not alias them).
+func TestEnumerateAlphaEquivalentBodies(t *testing.T) {
+	ins := rel.NewInstance()
+	ins.MustAdd("E", "a", "b")
+	e := New(ins)
+	if err := e.Enumerate([]lang.Atom{lang.NewAtom("E", lang.Var("x"), lang.Var("y"))}, nil,
+		func(s lang.Subst) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	err := e.Enumerate([]lang.Atom{lang.NewAtom("E", lang.Var("u"), lang.Var("v"))}, nil,
+		func(s lang.Subst) error {
+			if got := s.Apply(lang.Var("u")); got != lang.Const("a") {
+				t.Fatalf("u bound to %v, want \"a\" (cached plan's variable names leaked)", got)
+			}
+			if got := s.Apply(lang.Var("v")); got != lang.Const("b") {
+				t.Fatalf("v bound to %v, want \"b\"", got)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExistsMatch(t *testing.T) {
+	ins := rel.NewInstance()
+	ins.MustAdd("E", "a", "b")
+	e := New(ins)
+	ok, err := e.ExistsMatch([]lang.Atom{lang.NewAtom("E", lang.Const("a"), lang.Var("w"))})
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	ok, err = e.ExistsMatch([]lang.Atom{lang.NewAtom("E", lang.Const("z"), lang.Var("w"))})
+	if err != nil || ok {
+		t.Fatalf("ok=%v err=%v, want no match", ok, err)
+	}
+}
+
+func TestEvalUCQ(t *testing.T) {
+	ins := rel.NewInstance()
+	ins.MustAdd("A", "1")
+	ins.MustAdd("B", "2")
+	e := New(ins)
+	u := lang.UCQ{Disjuncts: []lang.CQ{
+		{Head: lang.NewAtom("q", lang.Var("x")), Body: []lang.Atom{lang.NewAtom("A", lang.Var("x"))}},
+		{Head: lang.NewAtom("q", lang.Var("x")), Body: []lang.Atom{lang.NewAtom("B", lang.Var("x"))}},
+	}}
+	rows, err := e.EvalUCQ(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rel.EvalUCQ(u, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("engine %v vs naive %v", rows, want)
+	}
+}
+
+func TestEvalDatalogTransitiveClosure(t *testing.T) {
+	rules := []lang.CQ{
+		{Head: lang.NewAtom("T", lang.Var("x"), lang.Var("y")),
+			Body: []lang.Atom{lang.NewAtom("E", lang.Var("x"), lang.Var("y"))}},
+		{Head: lang.NewAtom("T", lang.Var("x"), lang.Var("z")),
+			Body: []lang.Atom{
+				lang.NewAtom("E", lang.Var("x"), lang.Var("y")),
+				lang.NewAtom("T", lang.Var("y"), lang.Var("z"))}},
+	}
+	ins := rel.NewInstance()
+	for i := 0; i < 20; i++ {
+		ins.MustAdd("E", fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1))
+	}
+	got, err := EvalDatalog(rules, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rel.EvalDatalog(rules, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("engine datalog diverges from naive:\n%s\nvs\n%s", got.String(), want.String())
+	}
+	if got.Relation("T").Len() != 20*21/2 {
+		t.Fatalf("T has %d tuples", got.Relation("T").Len())
+	}
+}

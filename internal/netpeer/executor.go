@@ -2,10 +2,10 @@ package netpeer
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/lang"
 	"repro/internal/rel"
 )
@@ -14,18 +14,27 @@ import (
 // peer network. It routes each conjunctive rewriting to the single peer
 // serving all its stored relations when possible (full push-down); when a
 // rewriting spans peers, it fetches the needed relations — with
-// constant-selection push-down per atom — and joins locally.
+// constant-selection push-down per atom — and joins locally through an
+// indexed engine. Compiled plans are shared across local joins, so
+// identical rewritings (the common case for repeated queries) skip
+// replanning.
 type Executor struct {
 	mu sync.Mutex
 	// addr maps each stored relation to the address of the serving peer.
 	addr map[string]string
 	// conns caches one client per address.
 	conns map[string]*Client
+	// plans is shared by the per-join scratch engines.
+	plans *engine.PlanCache
 }
 
 // NewExecutor creates an executor with an empty routing table.
 func NewExecutor() *Executor {
-	return &Executor{addr: map[string]string{}, conns: map[string]*Client{}}
+	return &Executor{
+		addr:  map[string]string{},
+		conns: map[string]*Client{},
+		plans: engine.NewPlanCache(256),
+	}
 }
 
 // Route declares that the peer at addr serves the given stored relation.
@@ -88,22 +97,15 @@ func (e *Executor) EvalUCQ(u lang.UCQ) ([]rel.Tuple, error) {
 	if err := u.Validate(); err != nil {
 		return nil, err
 	}
-	seen := map[string]bool{}
-	var out []rel.Tuple
-	for _, q := range u.Disjuncts {
+	groups := make([][]rel.Tuple, len(u.Disjuncts))
+	for i, q := range u.Disjuncts {
 		rows, err := e.EvalCQ(q)
 		if err != nil {
 			return nil, err
 		}
-		for _, t := range rows {
-			if k := t.Key(); !seen[k] {
-				seen[k] = true
-				out = append(out, t)
-			}
-		}
+		groups[i] = rows
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
-	return out, nil
+	return rel.DistinctSorted(groups...), nil
 }
 
 // EvalCQ evaluates one conjunctive rewriting over the network.
@@ -148,7 +150,7 @@ func (e *Executor) EvalCQ(q lang.CQ) ([]rel.Tuple, error) {
 		localBody[i] = la
 	}
 	local := lang.CQ{Head: q.Head, Body: localBody, Comps: q.Comps}
-	return rel.EvalCQ(local, scratch)
+	return engine.NewWithPlanCache(scratch, e.plans).EvalCQ(local)
 }
 
 // fetchAtom retrieves the tuples matching atom a from its peer with the

@@ -20,15 +20,19 @@ import (
 	"net"
 	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/lang"
 	"repro/internal/rel"
 	"repro/internal/wire"
 )
 
-// Server serves one peer's stored relations.
+// Server serves one peer's stored relations. Eval requests run through a
+// per-server indexed engine whose indexes and compiled plans persist across
+// requests (and catch up incrementally with AddFact).
 type Server struct {
 	mu   sync.RWMutex
 	data *rel.Instance
+	eng  *engine.Engine
 
 	lis    net.Listener
 	cancel context.CancelFunc
@@ -41,7 +45,7 @@ func NewServer(data *rel.Instance) *Server {
 	if data == nil {
 		data = rel.NewInstance()
 	}
-	return &Server{data: data}
+	return &Server{data: data, eng: engine.New(data)}
 }
 
 // AddFact inserts a tuple into a served relation.
@@ -97,6 +101,10 @@ func (s *Server) acceptLoop(ctx context.Context, lis net.Listener) {
 }
 
 func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
+	// Close the connection when the server shuts down so the Scan below
+	// unblocks and Close's WaitGroup drains even with idle clients.
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	enc := json.NewEncoder(conn)
@@ -139,7 +147,7 @@ func (s *Server) handle(req wire.Request) wire.Response {
 		if err != nil {
 			return wire.Response{Error: err.Error()}
 		}
-		rows, err := rel.EvalCQ(q, s.data)
+		rows, err := s.eng.EvalCQ(q)
 		if err != nil {
 			return wire.Response{Error: err.Error()}
 		}

@@ -99,22 +99,15 @@ func EvalUCQ(u lang.UCQ, ins *Instance) ([]Tuple, error) {
 	if err := u.Validate(); err != nil {
 		return nil, err
 	}
-	seen := map[string]bool{}
-	var out []Tuple
-	for _, q := range u.Disjuncts {
+	groups := make([][]Tuple, len(u.Disjuncts))
+	for i, q := range u.Disjuncts {
 		rows, err := EvalCQ(q, ins)
 		if err != nil {
 			return nil, err
 		}
-		for _, t := range rows {
-			if k := t.Key(); !seen[k] {
-				seen[k] = true
-				out = append(out, t)
-			}
-		}
+		groups[i] = rows
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
-	return out, nil
+	return DistinctSorted(groups...), nil
 }
 
 // EvalDatalog computes the least fixpoint of the (non-recursive or

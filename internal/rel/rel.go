@@ -45,9 +45,11 @@ type Relation struct {
 	Arity  int
 	tuples map[string]Tuple
 	// sortedMu guards sorted, which caches the deterministic tuple order
-	// and is invalidated on insert.
+	// and is invalidated on insert, and log, the append-only insertion
+	// history that engine indexes consume incrementally.
 	sortedMu sync.Mutex
 	sorted   []Tuple
+	log      []Tuple
 }
 
 // NewRelation creates an empty relation.
@@ -70,8 +72,31 @@ func (r *Relation) Insert(t Tuple) (bool, error) {
 	r.tuples[k] = cp
 	r.sortedMu.Lock()
 	r.sorted = nil
+	r.log = append(r.log, cp)
 	r.sortedMu.Unlock()
 	return true, nil
+}
+
+// Version returns the number of inserts so far. Together with AddedSince it
+// lets derived structures (hash indexes, materialized views) catch up
+// incrementally instead of rebuilding: tuples are never deleted, so the
+// suffix log[v:] is exactly what changed since version v.
+func (r *Relation) Version() uint64 {
+	r.sortedMu.Lock()
+	defer r.sortedMu.Unlock()
+	return uint64(len(r.log))
+}
+
+// AddedSince returns the tuples inserted after version v, in insertion
+// order. Callers must not mutate the result. AddedSince(0) is every tuple
+// and, unlike Tuples, never pays a sort.
+func (r *Relation) AddedSince(v uint64) []Tuple {
+	r.sortedMu.Lock()
+	defer r.sortedMu.Unlock()
+	if v > uint64(len(r.log)) {
+		return nil
+	}
+	return r.log[v:]
 }
 
 // Contains reports tuple membership.
@@ -99,6 +124,24 @@ func (r *Relation) Tuples() []Tuple {
 	return r.sorted
 }
 
+// DistinctSorted returns the distinct union of the given tuple groups in
+// canonical (Tuple.Key) order — the answer-set semantics every UCQ
+// evaluator shares.
+func DistinctSorted(groups ...[]Tuple) []Tuple {
+	seen := map[string]bool{}
+	var out []Tuple
+	for _, g := range groups {
+		for _, t := range g {
+			if k := t.Key(); !seen[k] {
+				seen[k] = true
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
 // Instance maps predicate names to relations. The zero value is unusable;
 // use NewInstance.
 type Instance struct {
@@ -118,6 +161,9 @@ func (ins *Instance) Clone() *Instance {
 		for k, t := range r.tuples {
 			nr.tuples[k] = t
 		}
+		// Full-slice expression: later appends to either log must not
+		// share backing storage.
+		nr.log = r.log[:len(r.log):len(r.log)]
 		out.rels[name] = nr
 	}
 	return out

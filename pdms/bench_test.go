@@ -1,0 +1,63 @@
+package pdms
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchNetwork builds a moderately-sized network: one mediated relation
+// backed by several stores with a few hundred facts.
+func benchNetwork(b *testing.B) *Network {
+	b.Helper()
+	spec := ""
+	for s := 0; s < 4; s++ {
+		spec += fmt.Sprintf("storage P%d.r(x, y) in A:R(x, y)\n", s)
+	}
+	spec += "include A:R(x, y) in B:S(x, y)\n"
+	net, err := Load(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for s := 0; s < 4; s++ {
+		for i := 0; i < 100; i++ {
+			if err := net.AddFact(fmt.Sprintf("P%d.r", s),
+				fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i%10)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return net
+}
+
+// BenchmarkQueryCached measures the steady-state hot path: identical
+// queries served from the generation-keyed answer cache.
+func BenchmarkQueryCached(b *testing.B) {
+	net := benchNetwork(b)
+	const q = `q(x) :- B:S(x, "v3")`
+	if _, err := net.Query(q); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryUncached measures the same query with the cache defeated
+// by a mutation per iteration — reformulation cache still hits (the spec
+// is unchanged) but execution reruns through the engine.
+func BenchmarkQueryUncached(b *testing.B) {
+	net := benchNetwork(b)
+	const q = `q(x) :- B:S(x, "v3")`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := net.AddFact("P0.r", fmt.Sprintf("extra%d", i), "v3"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := net.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package pdms
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestAnswerCacheHit verifies repeated queries are served from the answer
+// cache (no re-reformulation, no re-execution).
+func TestAnswerCacheHit(t *testing.T) {
+	net, err := Load(`
+storage A.r(x) in A:R(x)
+fact A.r("1")
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := net.Query(`q(x) :- A:R(x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := net.Query(`q(x) :- A:R(x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Fatalf("cached answer differs: %v vs %v", first, again)
+	}
+	st := net.CacheStats()
+	if st.Hits == 0 {
+		t.Fatalf("expected an answer-cache hit, stats %+v", st)
+	}
+	// Alpha-equivalent query (renamed variable) shares the cache entry.
+	renamed, err := net.Query(`q(y) :- A:R(y)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, renamed) {
+		t.Fatalf("alpha-equivalent query differs: %v vs %v", first, renamed)
+	}
+	if st2 := net.CacheStats(); st2.Hits != st.Hits+1 {
+		t.Fatalf("alpha-equivalent query missed the cache: %+v -> %+v", st, st2)
+	}
+}
+
+// TestAddFactInvalidatesAnswers is the acceptance check for the
+// mutation-invalidated answer cache: a query, then AddFact, then the same
+// query must reflect the new fact.
+func TestAddFactInvalidatesAnswers(t *testing.T) {
+	net, err := Load(`
+storage A.r(x) in A:R(x)
+fact A.r("1")
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := net.Query(`q(x) :- A:R(x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Warm the cache a second time, then mutate.
+	if _, err := net.Query(`q(x) :- A:R(x)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddFact("A.r", "2"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err = net.Query(`q(x) :- A:R(x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("after AddFact rows = %v, want 2 (stale cached answer served?)", rows)
+	}
+}
+
+// TestExtendInvalidatesAnswers verifies Extend invalidates both the answer
+// cache and the reformulation cache: a new mapping and a new fact must be
+// visible to a query whose answer (and rewriting) was cached before.
+func TestExtendInvalidatesAnswers(t *testing.T) {
+	net, err := Load(`
+storage A.r(x) in A:R(x)
+include A:R(x) in B:S(x)
+fact A.r("1")
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := net.Query(`q(x) :- B:S(x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Extend with a second storage path into B:S plus a fact in it: the
+	// cached rewriting for the query cannot cover C.s, so serving either
+	// cache stale would lose the new answer.
+	err = net.Extend(`
+storage C.s(x) in B:S(x)
+fact C.s("2")
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err = net.Query(`q(x) :- B:S(x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("after Extend rows = %v, want 2 (stale cached rewriting or answer?)", rows)
+	}
+}
+
+// TestFailedExtendStillInvalidates: an Extend that errors partway may have
+// already merged declarations or mappings (the merge is not transactional),
+// so the caches are invalidated even on failure — belt and braces. The
+// network must stay consistent and serve fresh answers afterwards.
+func TestFailedExtendStillInvalidates(t *testing.T) {
+	net, err := Load(`
+storage A.r(x) in A:R(x)
+fact A.r("1")
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Query(`q(x) :- A:R(x)`); err != nil {
+		t.Fatal(err)
+	}
+	err = net.Extend(`
+storage C.s(x) in A:R(x)
+stored A.r(x, y)
+`)
+	if err == nil {
+		t.Fatal("conflicting Extend accepted")
+	}
+	// Whatever partially merged, subsequent mutations and queries must not
+	// be answered from pre-Extend cache entries.
+	if err := net.AddFact("A.r", "2"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := net.Query(`q(x) :- A:R(x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v, want 2 (stale cache after failed Extend)", rows)
+	}
+}

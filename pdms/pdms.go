@@ -21,21 +21,54 @@ import (
 
 	"repro/internal/chase"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/lang"
 	"repro/internal/parser"
 	"repro/internal/ppl"
 	"repro/internal/rel"
 )
 
+// answerCacheSize and reformCacheSize bound the per-network LRU caches.
+const (
+	answerCacheSize = 512
+	reformCacheSize = 256
+)
+
 // Network is a PDMS instance: the specification plus stored data.
 // Construct with New or Load. Queries, reformulations and mutations
 // (Extend, AddFact) may be issued concurrently; mutations take a write
 // lock, reads share a read lock.
+//
+// Queries execute through an indexed engine (internal/engine) and their
+// answers are cached in an LRU keyed by the canonicalized query and a
+// generation counter: Extend and AddFact bump the generation, so a cached
+// answer is never served across a mutation. Cached results are shared —
+// callers must not mutate returned answer slices.
 type Network struct {
 	mu   sync.RWMutex
 	spec *ppl.PDMS
 	data *rel.Instance
 	opts Options
+	eng  *engine.Engine
+	// gen counts data or spec mutations; specGen counts spec mutations
+	// only (AddFact cannot change reformulations). Cache keys embed the
+	// counter current when the entry was computed, so any mutation
+	// invalidates: stale keys simply never match and age out of the LRU.
+	gen     uint64
+	specGen uint64
+	answers *engine.LRU
+	reforms *engine.LRU
+}
+
+func newNetwork(spec *ppl.PDMS, data *rel.Instance, opts Options) *Network {
+	return &Network{
+		spec:    spec,
+		data:    data,
+		opts:    opts,
+		eng:     engine.New(data),
+		answers: engine.NewLRU(answerCacheSize),
+		reforms: engine.NewLRU(reformCacheSize),
+	}
 }
 
 // Options tunes reformulation. The zero value enables every optimization
@@ -67,7 +100,7 @@ func (o Options) core() core.Options {
 
 // New returns an empty network with the given options.
 func New(opts Options) *Network {
-	return &Network{spec: ppl.New(), data: rel.NewInstance(), opts: opts}
+	return newNetwork(ppl.New(), rel.NewInstance(), opts)
 }
 
 // Load parses a PPL specification (schema declarations, mappings, storage
@@ -82,7 +115,7 @@ func LoadWithOptions(src string, opts Options) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Network{spec: res.PDMS, data: res.Data, opts: opts}, nil
+	return newNetwork(res.PDMS, res.Data, opts), nil
 }
 
 // Extend parses additional PPL statements into an existing network — the
@@ -95,6 +128,13 @@ func (n *Network) Extend(src string) error {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	// Invalidate caches even when the merge fails partway: declarations or
+	// mappings may already have been applied, and serving pre-Extend cached
+	// answers against a partially-extended spec would be stale.
+	defer func() {
+		n.gen++
+		n.specGen++
+	}()
 	// Merge declarations, mappings, storage and data.
 	for _, name := range res.PDMS.RelationNames() {
 		if err := n.spec.DeclareRelation(*res.PDMS.Relation(name)); err != nil {
@@ -126,17 +166,25 @@ func (n *Network) Extend(src string) error {
 // Spec exposes the underlying PPL specification (read-only use intended).
 func (n *Network) Spec() *ppl.PDMS { return n.spec }
 
-// Data exposes the stored-relation instance (read-only use intended).
+// Data exposes the stored-relation instance. Read-only: mutating it
+// directly bypasses the generation counter that invalidates cached query
+// answers, so previously-cached answers would be served stale forever. All
+// mutation must go through AddFact or Extend.
 func (n *Network) Data() *rel.Instance { return n.data }
 
-// AddFact inserts a tuple into a stored relation.
+// AddFact inserts a tuple into a stored relation. It invalidates cached
+// query answers (the next Query recomputes and re-caches).
 func (n *Network) AddFact(stored string, values ...string) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if !n.spec.IsStored(stored) {
 		return fmt.Errorf("pdms: %q is not a declared stored relation", stored)
 	}
-	_, err := n.data.Add(stored, rel.Tuple(values))
+	added, err := n.data.Add(stored, rel.Tuple(values))
+	if err == nil && added {
+		// Duplicate inserts are no-ops: keep the answer cache warm.
+		n.gen++
+	}
 	return err
 }
 
@@ -165,8 +213,19 @@ func (n *Network) Reformulate(query string) (*Reformulation, error) {
 	return n.ReformulateCQ(q)
 }
 
-// ReformulateCQ is Reformulate for an already-parsed query.
+// ReformulateCQ is Reformulate for an already-parsed query. Results are
+// cached per canonicalized query until the specification changes (Extend);
+// the returned struct is the caller's, but its slices are shared — treat
+// the rewriting as read-only.
 func (n *Network) ReformulateCQ(q lang.CQ) (*Reformulation, error) {
+	n.mu.RLock()
+	specGen := n.specGen
+	n.mu.RUnlock()
+	key := fmt.Sprintf("%d|%s", specGen, q.Canonical())
+	if v, ok := n.reforms.Get(key); ok {
+		ref := v.(Reformulation)
+		return &ref, nil
+	}
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	r, err := core.New(n.spec, n.opts.core())
@@ -177,24 +236,41 @@ func (n *Network) ReformulateCQ(q lang.CQ) (*Reformulation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Reformulation{
+	ref := Reformulation{
 		Rewriting:      out.UCQ,
 		Stats:          out.Stats,
 		Classification: out.Classification,
-	}, nil
+	}
+	n.reforms.Put(key, ref)
+	return &ref, nil
 }
 
 // Query reformulates and executes a textual query over the stored data,
 // returning the certain answers (all of them when the specification is in
-// the tractable fragment).
+// the tractable fragment). Execution runs through the indexed engine;
+// answers are cached and served until the next mutation. Callers must not
+// mutate the returned slice.
 func (n *Network) Query(query string) ([]Answer, error) {
-	ref, err := n.Reformulate(query)
+	q, err := parser.ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	// Snapshot the generation before computing: if a mutation interleaves,
+	// the entry is stored under a stale key and never served.
+	n.mu.RLock()
+	gen := n.gen
+	n.mu.RUnlock()
+	key := fmt.Sprintf("%d|%s", gen, q.Canonical())
+	if v, ok := n.answers.Get(key); ok {
+		return v.([]Answer), nil
+	}
+	ref, err := n.ReformulateCQ(q)
 	if err != nil {
 		return nil, err
 	}
 	n.mu.RLock()
-	defer n.mu.RUnlock()
-	rows, err := rel.EvalUCQ(ref.Rewriting, n.data)
+	rows, err := n.eng.EvalUCQ(ref.Rewriting)
+	n.mu.RUnlock()
 	if err != nil {
 		return nil, err
 	}
@@ -202,7 +278,19 @@ func (n *Network) Query(query string) ([]Answer, error) {
 	for i, t := range rows {
 		out[i] = Answer(t)
 	}
+	n.answers.Put(key, out)
 	return out, nil
+}
+
+// QueryCacheStats reports cumulative answer-cache hits and misses.
+type QueryCacheStats struct {
+	Hits, Misses uint64
+}
+
+// CacheStats returns cumulative answer-cache hit/miss counts.
+func (n *Network) CacheStats() QueryCacheStats {
+	st := n.answers.Stats()
+	return QueryCacheStats{Hits: st.Hits, Misses: st.Misses}
 }
 
 // CertainAnswers computes certain answers directly via the chase oracle
