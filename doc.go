@@ -18,4 +18,11 @@
 // are cached per canonical query under a generation counter that Extend
 // and AddFact bump, so no reader ever sees a stale answer. The naive
 // evaluator in internal/rel remains as the differential-testing oracle.
+//
+// Distributed execution lives in internal/netpeer: peers serve stored
+// relations over TCP, and cross-peer rewritings run as bind-joins — the
+// executor ships the distinct join keys bound so far and the remote peer
+// probes its hash indexes, so only tuples that can join cross the wire.
+// UCQ disjuncts fan out over a worker pool on per-address connection
+// pools; pdms.Network.QueryVia plugs the mediator into that executor.
 package repro

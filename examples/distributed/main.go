@@ -2,18 +2,21 @@
 // TCP servers for their stored relations (two hospitals and a fire
 // district); a mediator reformulates a query posed over its schema into a
 // union of conjunctive queries over stored relations, and the network
-// executor answers it by pushing each rewriting down to the owning peer —
-// joining across peers when a rewriting spans them.
+// executor answers it — pushing each rewriting down to the owning peer
+// when one peer holds every atom, and otherwise running a cross-peer
+// bind-join: the distinct join keys bound so far are shipped to the remote
+// peer, which probes its hash indexes and returns only the tuples that can
+// join. The wire counters printed at the end show how little data that
+// moves compared to fetching whole relations.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
 	"repro/internal/netpeer"
-	"repro/internal/parser"
 	"repro/internal/rel"
+	"repro/pdms"
 )
 
 const spec = `
@@ -26,7 +29,8 @@ define DC:OnCall(d, m, s) :- H:Doctor(d, s), FS:Medic(m, s)
 `
 
 func main() {
-	res, err := parser.Parse(spec)
+	// The mediator holds only the specification; all data lives on peers.
+	mediator, err := pdms.Load(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,27 +73,21 @@ func main() {
 		fmt.Printf("peer %-13s serving at %s\n", p.name, addr)
 	}
 
-	// Reformulate at the mediator.
-	r, err := core.New(res.PDMS, core.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	q, err := parser.ParseQuery(`q(d, m) :- DC:OnCall(d, m, "day")`)
-	if err != nil {
-		log.Fatal(err)
-	}
-	out, err := r.Reformulate(q)
+	// Show what the mediator's rewriting looks like before executing it.
+	ref, err := mediator.Reformulate(`q(d, m) :- DC:OnCall(d, m, "day")`)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nreformulated onto stored relations:")
-	for _, d := range out.UCQ.Disjuncts {
+	for _, d := range ref.Rewriting.Disjuncts {
 		fmt.Println(" ", d)
 	}
 
 	// Execute across the network: each disjunct joins a hospital store
-	// with the fire district's store on different machines (well, ports).
-	rows, err := ex.EvalUCQ(out.UCQ)
+	// with the fire district's store on different machines (well, ports),
+	// as a bind-join — hospital doctor shifts ship to the fire district,
+	// which probes its index instead of sending every medic.
+	rows, err := mediator.QueryVia(`q(d, m) :- DC:OnCall(d, m, "day")`, ex)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -97,4 +95,8 @@ func main() {
 	for _, t := range rows {
 		fmt.Printf("  doctor=%s medic=%s\n", t[0], t[1])
 	}
+
+	st := ex.WireStats()
+	fmt.Printf("\nwire traffic: %d requests, %d rows fetched, %d B sent, %d B received\n",
+		st.Requests, st.RowsFetched, st.BytesSent, st.BytesRecv)
 }

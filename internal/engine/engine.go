@@ -53,11 +53,13 @@ type index struct {
 	buckets  map[string][]rel.Tuple
 }
 
-// appendKeyPart appends one key component with a length prefix, so
+// AppendKeyPart appends one key component with a length prefix, so
 // composite keys are collision-free even for values containing the
 // delimiter bytes themselves ("a\x00b","c" vs "a","b\x00c"). Probe-path key
-// assembly in run() must use this same encoding.
-func appendKeyPart(dst []byte, v string) []byte {
+// assembly in run() must use this same encoding. It is exported for other
+// packages that need collision-free composite names (netpeer's executor
+// encodes per-atom selection patterns with it).
+func AppendKeyPart(dst []byte, v string) []byte {
 	dst = strconv.AppendInt(dst, int64(len(v)), 10)
 	dst = append(dst, ':')
 	return append(dst, v...)
@@ -69,7 +71,7 @@ func bucketKey(t rel.Tuple, cols []int) string {
 	}
 	var key []byte
 	for _, c := range cols {
-		key = appendKeyPart(key, t[c])
+		key = AppendKeyPart(key, t[c])
 	}
 	return string(key)
 }
@@ -169,6 +171,51 @@ func (e *Engine) probe(r *rel.Relation, cols []int, key string) []rel.Tuple {
 	}
 	idx.consumed += uint64(len(added))
 	return idx.buckets[key]
+}
+
+// ProbeByKeyBatch returns the distinct tuples of pred whose projection onto
+// cols equals one of keys, building (or incrementally catching up) the same
+// lazy hash index that regular probe steps use. Every key must supply
+// len(cols) values. This is the server-side substrate for netpeer's
+// bind-join: the querying peer ships batches of bound join keys and the
+// serving peer probes its index once per key instead of scanning.
+func (e *Engine) ProbeByKeyBatch(pred string, cols []int, keys [][]string) ([]rel.Tuple, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("engine: ProbeByKeyBatch on %s needs at least one column", pred)
+	}
+	r := e.ins.Relation(pred)
+	if r == nil {
+		return nil, nil
+	}
+	for _, c := range cols {
+		if c < 0 || c >= r.Arity {
+			return nil, fmt.Errorf("engine: ProbeByKeyBatch column %d out of range for %s/%d", c, pred, r.Arity)
+		}
+	}
+	seen := map[string]bool{}
+	var out []rel.Tuple
+	var kb []byte
+	for _, key := range keys {
+		if len(key) != len(cols) {
+			return nil, fmt.Errorf("engine: ProbeByKeyBatch key %v has %d values, want %d", key, len(key), len(cols))
+		}
+		kb = kb[:0]
+		for _, v := range key {
+			if len(cols) == 1 {
+				kb = append(kb, v...)
+			} else {
+				kb = AppendKeyPart(kb, v)
+			}
+		}
+		e.probes.Add(1)
+		for _, t := range e.probe(r, cols, string(kb)) {
+			if k := t.Key(); !seen[k] {
+				seen[k] = true
+				out = append(out, t)
+			}
+		}
+	}
+	return out, nil
 }
 
 func colsKey(cols []int) string {

@@ -93,6 +93,55 @@ func (c compiledComp) eval(slots []string) bool {
 	return c.op.EvalConst(lang.Const(lv), lang.Const(rv))
 }
 
+// OrderBody returns an evaluation order for the body atoms under the
+// engine's greedy selectivity heuristic: repeatedly take the atom with the
+// lowest estimated cost (cardOf(pred)+1)/8^known, where known counts
+// constant arguments plus variables bound by earlier atoms (a bound
+// position narrows an index probe, so more bound arguments -> earlier).
+// forcePivot >= 0 pins that atom first (datalog semi-naive); -1 orders all
+// atoms greedily. Shared by compile and netpeer's cross-peer executor so
+// local and distributed join orders follow the same cost model.
+func OrderBody(body []lang.Atom, cardOf func(pred string) int, forcePivot int) []int {
+	bound := map[string]bool{}
+	var order []int
+	taken := make([]bool, len(body))
+	if forcePivot >= 0 {
+		order = append(order, forcePivot)
+		taken[forcePivot] = true
+		for _, t := range body[forcePivot].Args {
+			if t.IsVar() {
+				bound[t.Name] = true
+			}
+		}
+	}
+	for len(order) < len(body) {
+		best, bestCost := -1, math.Inf(1)
+		for i, a := range body {
+			if taken[i] {
+				continue
+			}
+			known := 0
+			for _, t := range a.Args {
+				if t.IsConst() || bound[t.Name] {
+					known++
+				}
+			}
+			cost := float64(cardOf(a.Pred)+1) / math.Pow(8, float64(known))
+			if cost < bestCost {
+				best, bestCost = i, cost
+			}
+		}
+		order = append(order, best)
+		taken[best] = true
+		for _, t := range body[best].Args {
+			if t.IsVar() {
+				bound[t.Name] = true
+			}
+		}
+	}
+	return order
+}
+
 // compile builds a plan for q. forcePivot >= 0 pins body atom forcePivot as
 // the first step and marks it as a delta scan (datalog semi-naive); -1
 // orders all atoms greedily.
@@ -119,46 +168,7 @@ func (e *Engine) compile(q lang.CQ, forcePivot int) (*Plan, error) {
 		return s
 	}
 
-	// Greedy join order: repeatedly take the atom with the lowest estimated
-	// cost, cardinality discounted per bound argument (a bound position
-	// narrows an index probe, so more bound arguments -> earlier).
-	bound := map[string]bool{}
-	var order []int
-	taken := make([]bool, len(q.Body))
-	if forcePivot >= 0 {
-		order = append(order, forcePivot)
-		taken[forcePivot] = true
-		for _, t := range q.Body[forcePivot].Args {
-			if t.IsVar() {
-				bound[t.Name] = true
-			}
-		}
-	}
-	for len(order) < len(q.Body) {
-		best, bestCost := -1, math.Inf(1)
-		for i, a := range q.Body {
-			if taken[i] {
-				continue
-			}
-			known := 0
-			for _, t := range a.Args {
-				if t.IsConst() || bound[t.Name] {
-					known++
-				}
-			}
-			cost := float64(e.card(a.Pred)+1) / math.Pow(8, float64(known))
-			if cost < bestCost {
-				best, bestCost = i, cost
-			}
-		}
-		order = append(order, best)
-		taken[best] = true
-		for _, t := range q.Body[best].Args {
-			if t.IsVar() {
-				bound[t.Name] = true
-			}
-		}
-	}
+	order := OrderBody(q.Body, e.card, forcePivot)
 
 	// Lower each atom to a step.
 	boundSlots := map[string]bool{} // vars bound by *earlier* steps
@@ -304,7 +314,7 @@ func (e *Engine) run(p *Plan, delta *rel.Instance, yield func(slots []string) er
 					if len(st.keyParts) == 1 {
 						key = append(key, v...)
 					} else {
-						key = appendKeyPart(key, v)
+						key = AppendKeyPart(key, v)
 					}
 				}
 				e.probes.Add(1)

@@ -1,0 +1,301 @@
+package netpeer
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/lang"
+	"repro/internal/parser"
+	"repro/internal/rel"
+)
+
+// tuplesEqual compares two sorted answer sets.
+func tuplesEqual(a, b []rel.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBindJoinFetchesFewerRows is the headline acceptance check: on a
+// skewed cross-peer join (small bound side, large remote side), bind-join
+// must ship at least 10x fewer rows than whole-relation fetching while
+// returning exactly the oracle's answers.
+func TestBindJoinFetchesFewerRows(t *testing.T) {
+	const big = 2000
+	small := map[string][]rel.Tuple{"S.small": nil}
+	large := map[string][]rel.Tuple{"L.big": nil}
+	oracle := rel.NewInstance()
+	for i := 0; i < 5; i++ {
+		tu := rel.Tuple{fmt.Sprintf("k%d", i)}
+		small["S.small"] = append(small["S.small"], tu)
+		oracle.MustAdd("S.small", tu...)
+	}
+	for i := 0; i < big; i++ {
+		tu := rel.Tuple{fmt.Sprintf("k%d", i%1000), fmt.Sprintf("p%d", i)}
+		large["L.big"] = append(large["L.big"], tu)
+		oracle.MustAdd("L.big", tu...)
+	}
+	addr1 := startServer(t, small)
+	addr2 := startServer(t, large)
+
+	q, err := parser.ParseQuery(`q(x, y) :- S.small(x), L.big(x, y)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.New(oracle).EvalCQ(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 10 {
+		t.Fatalf("oracle rows = %d", len(want))
+	}
+
+	run := func(fetchAll bool) (rows []rel.Tuple, fetched uint64) {
+		ex := NewExecutor()
+		ex.FetchAll = fetchAll
+		defer ex.Close()
+		for _, a := range []string{addr1, addr2} {
+			if err := ex.Discover(a); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before := ex.WireStats().RowsFetched
+		rows, err := ex.EvalCQ(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows, ex.WireStats().RowsFetched - before
+	}
+
+	bindRows, bindFetched := run(false)
+	fullRows, fullFetched := run(true)
+	if !tuplesEqual(bindRows, want) {
+		t.Fatalf("bind-join answers diverge: got %v want %v", bindRows, want)
+	}
+	if !tuplesEqual(fullRows, want) {
+		t.Fatalf("fetch-all answers diverge: got %v want %v", fullRows, want)
+	}
+	if fullFetched < uint64(big) {
+		t.Fatalf("fetch-all fetched only %d rows, expected >= %d", fullFetched, big)
+	}
+	if bindFetched*10 > fullFetched {
+		t.Fatalf("bind-join fetched %d rows vs %d for fetch-all; want >= 10x reduction", bindFetched, fullFetched)
+	}
+}
+
+// TestFetchNameCollisionRegression pins the scratch-name fix: two atoms on
+// the same predicate whose old unescaped names ("pred|pos=const...")
+// collided — R with constant "x|1=y" at position 0 versus constants
+// "x","y" at positions 0 and 1 — must not share a fetch. With the old
+// encoding the second atom silently reused the first atom's (differently
+// selected) rows and the answer went missing.
+func TestFetchNameCollisionRegression(t *testing.T) {
+	addr1 := startServer(t, map[string][]rel.Tuple{
+		"C.r": {{"x|1=y", "A"}, {"x", "y"}},
+	})
+	addr2 := startServer(t, map[string][]rel.Tuple{
+		"D.s": {{"ok"}},
+	})
+	q, err := parser.ParseQuery(`q(v, w) :- C.r("x|1=y", v), C.r("x", "y"), D.s(w)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fetchAll := range []bool{false, true} {
+		ex := NewExecutor()
+		ex.FetchAll = fetchAll
+		for _, a := range []string{addr1, addr2} {
+			if err := ex.Discover(a); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rows, err := ex.EvalCQ(q)
+		ex.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 1 || rows[0][0] != "A" || rows[0][1] != "ok" {
+			t.Fatalf("fetchAll=%v: rows = %v, want [[A ok]]", fetchAll, rows)
+		}
+	}
+}
+
+// TestBindJoinEmptyBoundSideShortCircuits checks the early exit: when the
+// partial join is empty no keys exist to ship, the remaining atoms are
+// never fetched, and the answer is empty.
+func TestBindJoinEmptyBoundSideShortCircuits(t *testing.T) {
+	addr1 := startServer(t, map[string][]rel.Tuple{
+		"E.small": {{"only"}},
+	})
+	srv2data := map[string][]rel.Tuple{"F.big": nil}
+	for i := 0; i < 100; i++ {
+		srv2data["F.big"] = append(srv2data["F.big"], rel.Tuple{fmt.Sprintf("k%d", i), "v"})
+	}
+	addr2 := startServer(t, srv2data)
+	ex := NewExecutor()
+	defer ex.Close()
+	for _, a := range []string{addr1, addr2} {
+		if err := ex.Discover(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// "nothing" never matches E.small, so the bound side is empty.
+	q, err := parser.ParseQuery(`q(x, y) :- E.small(x), F.big(y, x), x = "nothing"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ex.WireStats().RowsFetched
+	rows, err := ex.EvalCQ(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Only E.small's single row may have crossed the wire.
+	if got := ex.WireStats().RowsFetched - before; got > 1 {
+		t.Fatalf("fetched %d rows; the big side should never be touched", got)
+	}
+}
+
+// TestBindJoinRepeatedVarAndConsts exercises bind fetches for atoms mixing
+// pushed constants, repeated variables, and multiple bound positions.
+func TestBindJoinRepeatedVarAndConsts(t *testing.T) {
+	addr1 := startServer(t, map[string][]rel.Tuple{
+		"G.a": {{"1", "2"}, {"2", "2"}, {"3", "9"}},
+	})
+	addr2 := startServer(t, map[string][]rel.Tuple{
+		"G.b": {{"2", "2", "t"}, {"2", "5", "t"}, {"9", "9", "t"}, {"2", "2", "f"}},
+	})
+	oracle := rel.NewInstance()
+	oracle.MustAdd("G.a", "1", "2")
+	oracle.MustAdd("G.a", "2", "2")
+	oracle.MustAdd("G.a", "3", "9")
+	oracle.MustAdd("G.b", "2", "2", "t")
+	oracle.MustAdd("G.b", "2", "5", "t")
+	oracle.MustAdd("G.b", "9", "9", "t")
+	oracle.MustAdd("G.b", "2", "2", "f")
+	ex := NewExecutor()
+	defer ex.Close()
+	for _, a := range []string{addr1, addr2} {
+		if err := ex.Discover(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// y appears twice in G.b (diagonal) and "t" is pushed as a constant.
+	q, err := parser.ParseQuery(`q(x, y) :- G.a(x, y), G.b(y, y, "t")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.New(oracle).EvalCQ(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ex.EvalCQ(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tuplesEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+// TestBindJoinDifferentialRandomized pins bind-join answers to the
+// single-instance engine oracle across randomized data partitions,
+// cross-peer CQs and UCQs (including constants, comparisons, repeated
+// atoms, and empty relations), for both bind-join and fetch-all paths.
+func TestBindJoinDifferentialRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	preds := []string{"X.p", "X.q", "Y.r", "Y.s", "Z.t"}
+
+	for trial := 0; trial < 25; trial++ {
+		// Random partition of predicates over two peers; random data.
+		oracle := rel.NewInstance()
+		peerData := []map[string][]rel.Tuple{{}, {}}
+		home := map[string]int{}
+		for _, p := range preds {
+			home[p] = rng.Intn(2)
+			peerData[home[p]][p] = nil // declared even when left empty
+			n := rng.Intn(25)
+			for i := 0; i < n; i++ {
+				tu := rel.Tuple{fmt.Sprintf("v%d", rng.Intn(8)), fmt.Sprintf("v%d", rng.Intn(8))}
+				peerData[home[p]][p] = append(peerData[home[p]][p], tu)
+				oracle.MustAdd(p, tu...)
+			}
+		}
+		addrs := []string{startServer(t, peerData[0]), startServer(t, peerData[1])}
+		for _, fetchAll := range []bool{false, true} {
+			ex := NewExecutor()
+			ex.FetchAll = fetchAll
+			for _, p := range preds {
+				ex.Route(p, addrs[home[p]])
+			}
+			// Random UCQ: 1-3 chain-shaped disjuncts with arity-2 head.
+			var u lang.UCQ
+			for d := 0; d < 1+rng.Intn(3); d++ {
+				u.Add(randomChainCQ(rng, preds))
+			}
+			want, err := engine.New(oracle).EvalUCQ(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ex.EvalUCQ(u)
+			ex.Close()
+			if err != nil {
+				t.Fatalf("trial %d fetchAll=%v: %v\n%s", trial, fetchAll, err, u)
+			}
+			if !tuplesEqual(got, want) {
+				t.Fatalf("trial %d fetchAll=%v: executor diverges from oracle on\n%s\ngot  %v\nwant %v",
+					trial, fetchAll, u, got, want)
+			}
+		}
+	}
+}
+
+// randomChainCQ builds a chain join q(x0, xk) :- p(x0, x1), p(x1, x2), ...
+// with random predicates, occasional constants at interior positions, and
+// an occasional comparison.
+func randomChainCQ(rng *rand.Rand, preds []string) lang.CQ {
+	k := 2 + rng.Intn(3)
+	vars := make([]lang.Term, k+1)
+	for i := range vars {
+		vars[i] = lang.Var(fmt.Sprintf("x%d", i))
+	}
+	q := lang.CQ{Head: lang.NewAtom("q", vars[0], vars[k])}
+	for i := 0; i < k; i++ {
+		l, r := vars[i], vars[i+1]
+		// Interior positions may be replaced by constants (head vars x0
+		// and xk stay variables so the query remains safe).
+		if i > 0 && rng.Intn(5) == 0 {
+			l = lang.Const(fmt.Sprintf("v%d", rng.Intn(8)))
+		}
+		if i+1 < k && rng.Intn(5) == 0 {
+			r = lang.Const(fmt.Sprintf("v%d", rng.Intn(8)))
+		}
+		q.Body = append(q.Body, lang.NewAtom(preds[rng.Intn(len(preds))], l, r))
+	}
+	// Keep x0 and xk bound by at least one variable occurrence each.
+	q.Body[0].Args[0] = vars[0]
+	q.Body[k-1].Args[1] = vars[k]
+	if rng.Intn(3) == 0 {
+		// Compare only a variable that survived constant substitution, so
+		// the query stays evaluable.
+		var bodyVars []lang.Term
+		for _, a := range q.Body {
+			bodyVars = a.Vars(bodyVars)
+		}
+		q.Comps = append(q.Comps, lang.Comparison{
+			Op: lang.CompOp(rng.Intn(6)),
+			L:  bodyVars[rng.Intn(len(bodyVars))],
+			R:  lang.Const(fmt.Sprintf("v%d", rng.Intn(8))),
+		})
+	}
+	return q
+}

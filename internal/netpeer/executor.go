@@ -2,7 +2,7 @@ package netpeer
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
 	"sync"
 
 	"repro/internal/engine"
@@ -10,29 +10,53 @@ import (
 	"repro/internal/rel"
 )
 
+// maxFanout caps the worker pool evaluating UCQ disjuncts concurrently.
+const maxFanout = 8
+
 // Executor evaluates reformulated unions of conjunctive queries across the
 // peer network. It routes each conjunctive rewriting to the single peer
 // serving all its stored relations when possible (full push-down); when a
-// rewriting spans peers, it fetches the needed relations — with
-// constant-selection push-down per atom — and joins locally through an
-// indexed engine. Compiled plans are shared across local joins, so
-// identical rewritings (the common case for repeated queries) skip
-// replanning.
+// rewriting spans peers it runs a bind-join: atoms are ordered by the
+// engine planner's selectivity heuristic (using cardinalities learned at
+// Discover time), the first atom is fetched with its constant selections
+// pushed down, and each later atom ships the distinct join-key values
+// bound so far to its peer, which probes its hash indexes and returns only
+// tuples that can participate in the join. The final join runs locally
+// over an indexed scratch engine. Compiled plans are shared across local
+// joins, so identical rewritings (the common case for repeated queries)
+// skip replanning.
+//
+// UCQ disjuncts are evaluated concurrently over a worker pool; all methods
+// are safe for concurrent use, multiplexing wire traffic over per-address
+// connection pools (a single Client is not safe for concurrent use).
 type Executor struct {
+	// FetchAll forces the legacy whole-relation fetch path for cross-peer
+	// rewritings — every atom is pulled with only its constant selections
+	// pushed down, and no bound keys are shipped. For benchmarks and
+	// differential tests; leave false for bind-join execution.
+	FetchAll bool
+
 	mu sync.Mutex
 	// addr maps each stored relation to the address of the serving peer.
 	addr map[string]string
-	// conns caches one client per address.
-	conns map[string]*Client
+	// card holds per-relation cardinality estimates from Discover, feeding
+	// the join-order heuristic (stale values shift the order, never the
+	// answer).
+	card map[string]int
+	// pools holds one connection pool per peer address.
+	pools map[string]*pool
 	// plans is shared by the per-join scratch engines.
 	plans *engine.PlanCache
+	// counters aggregates wire traffic across all pooled connections.
+	counters Counters
 }
 
 // NewExecutor creates an executor with an empty routing table.
 func NewExecutor() *Executor {
 	return &Executor{
 		addr:  map[string]string{},
-		conns: map[string]*Client{},
+		card:  map[string]int{},
+		pools: map[string]*pool{},
 		plans: engine.NewPlanCache(256),
 	}
 }
@@ -45,65 +69,125 @@ func (e *Executor) Route(pred, addr string) {
 }
 
 // Discover connects to addr, asks for its catalog, and routes every served
-// relation to it.
+// relation to it, recording cardinalities for join ordering.
 func (e *Executor) Discover(addr string) error {
-	c, err := e.client(addr)
-	if err != nil {
+	var cards map[string]int
+	if err := e.withClient(addr, func(c *Client) error {
+		m, err := c.CatalogStats()
+		cards = m
 		return err
-	}
-	preds, err := c.Catalog()
-	if err != nil {
+	}); err != nil {
 		return err
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	for _, p := range preds {
+	for p, n := range cards {
 		e.addr[p] = addr
+		e.card[p] = n
 	}
 	return nil
 }
 
-// Close closes all cached connections.
+// WireStats returns a snapshot of the executor's cumulative wire counters
+// (aggregated across every pooled connection, past and present).
+func (e *Executor) WireStats() WireStats { return e.counters.Snapshot() }
+
+// Close closes all pooled connections. The executor stays usable: later
+// calls dial fresh connections.
 func (e *Executor) Close() error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
+	pools := e.pools
+	e.pools = map[string]*pool{}
+	e.mu.Unlock()
 	var first error
-	for _, c := range e.conns {
-		if err := c.Close(); err != nil && first == nil {
+	for _, p := range pools {
+		if err := p.close(); err != nil && first == nil {
 			first = err
 		}
 	}
-	e.conns = map[string]*Client{}
 	return first
 }
 
-func (e *Executor) client(addr string) (*Client, error) {
+// pool returns (creating if needed) the connection pool for addr.
+func (e *Executor) pool(addr string) *pool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if c, ok := e.conns[addr]; ok {
-		return c, nil
+	p, ok := e.pools[addr]
+	if !ok {
+		p = newPool(addr, &e.counters)
+		e.pools[addr] = p
 	}
-	c, err := Dial(addr)
+	return p
+}
+
+// withClient borrows a pooled connection to addr and runs fn on it. Every
+// protocol request is an idempotent read, so when a *reused* connection
+// fails at the transport level (it may have died or desynced while idle)
+// the call retries once on a freshly-dialed connection. Broken connections
+// are never returned to the pool (put closes them), so a transport error
+// can never leave a desynced stream for a later borrower.
+func (e *Executor) withClient(addr string, fn func(*Client) error) error {
+	p := e.pool(addr)
+	c, reused, err := p.get()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	e.conns[addr] = c
-	return c, nil
+	err = fn(c)
+	broken := c.broken
+	p.put(c)
+	if err != nil && broken && reused {
+		c2, derr := p.dial()
+		if derr != nil {
+			return err
+		}
+		err = fn(c2)
+		p.put(c2)
+	}
+	return err
 }
 
 // EvalUCQ evaluates a union of conjunctive rewritings over the network,
 // returning the distinct union of the disjuncts' answers, sorted.
+// Disjuncts are independent, so they fan out over a pool of up to
+// maxFanout workers; on error the first failing disjunct (by position)
+// wins.
 func (e *Executor) EvalUCQ(u lang.UCQ) ([]rel.Tuple, error) {
 	if err := u.Validate(); err != nil {
 		return nil, err
 	}
-	groups := make([][]rel.Tuple, len(u.Disjuncts))
-	for i, q := range u.Disjuncts {
-		rows, err := e.EvalCQ(q)
+	n := len(u.Disjuncts)
+	groups := make([][]rel.Tuple, n)
+	if n <= 1 {
+		for i, q := range u.Disjuncts {
+			rows, err := e.EvalCQ(q)
+			if err != nil {
+				return nil, err
+			}
+			groups[i] = rows
+		}
+		return rel.DistinctSorted(groups...), nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < min(n, maxFanout); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				groups[i], errs[i] = e.EvalCQ(u.Disjuncts[i])
+			}
+		}()
+	}
+	for i := range u.Disjuncts {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		groups[i] = rows
 	}
 	return rel.DistinctSorted(groups...), nil
 }
@@ -128,55 +212,189 @@ func (e *Executor) EvalCQ(q lang.CQ) ([]rel.Tuple, error) {
 		for a := range addrs {
 			only = a
 		}
-		c, err := e.client(only)
+		var rows []rel.Tuple
+		err := e.withClient(only, func(c *Client) error {
+			rs, err := c.Eval(q)
+			rows = rs
+			return err
+		})
 		if err != nil {
 			return nil, err
 		}
-		return c.Eval(q)
+		return rows, nil
 	}
 
-	// Cross-peer rewriting: fetch each atom's relation with its constant
-	// selections pushed down, then join locally over a scratch instance.
+	// Cross-peer rewriting: bind-join. Process atoms in selectivity order;
+	// the first atom (and any atom with no previously-bound variable) is
+	// fetched with constant push-down only, every later atom ships the
+	// distinct join keys bound so far so its peer returns just the tuples
+	// that can join. The fetched fragments land in a scratch instance and
+	// the full join (re-checking every constant, repeated variable and
+	// comparison) runs through an indexed local engine.
 	scratch := rel.NewInstance()
+	eng := engine.NewWithPlanCache(scratch, e.plans)
+	order := e.planOrder(q)
+	localNames := make([]string, len(q.Body))
 	fetched := map[string]bool{}
-	localBody := make([]lang.Atom, len(q.Body))
-	for i, a := range q.Body {
-		localName, err := e.fetchAtom(a, scratch, fetched)
+	boundVars := map[string]bool{}
+	for step, bi := range order {
+		a := q.Body[bi]
+		var bindCols []int
+		varIdx := map[string]int{}
+		var bindVars []lang.Term
+		for pos, t := range a.Args {
+			if t.IsVar() && boundVars[t.Name] {
+				bindCols = append(bindCols, pos)
+				if _, ok := varIdx[t.Name]; !ok {
+					varIdx[t.Name] = len(bindVars)
+					bindVars = append(bindVars, t)
+				}
+			}
+		}
+		var name string
+		var err error
+		if e.FetchAll || len(bindCols) == 0 {
+			name, err = e.fetchAtom(a, scratch, fetched)
+		} else {
+			var keys []rel.Tuple
+			keys, err = e.bindKeys(eng, q, order[:step], localNames, bindVars, boundVars)
+			if err != nil {
+				return nil, err
+			}
+			if len(keys) == 0 {
+				// The partial join is already empty, so the full join is
+				// too: skip the remaining fetches entirely.
+				return nil, nil
+			}
+			name, err = e.bindFetchAtom(a, bindCols, varIdx, keys, scratch, step)
+		}
 		if err != nil {
 			return nil, err
 		}
+		localNames[bi] = name
+		for _, t := range a.Args {
+			if t.IsVar() {
+				boundVars[t.Name] = true
+			}
+		}
+	}
+	localBody := make([]lang.Atom, len(q.Body))
+	for i, a := range q.Body {
 		la := a.Clone()
-		la.Pred = localName
+		la.Pred = localNames[i]
 		localBody[i] = la
 	}
 	local := lang.CQ{Head: q.Head, Body: localBody, Comps: q.Comps}
-	return engine.NewWithPlanCache(scratch, e.plans).EvalCQ(local)
+	return eng.EvalCQ(local)
+}
+
+// planOrder orders q's body atoms with the engine planner's greedy
+// selectivity heuristic (engine.OrderBody), feeding it the serving peers'
+// cardinalities as advertised at Discover time.
+func (e *Executor) planOrder(q lang.CQ) []int {
+	card := make(map[string]int, len(q.Body))
+	e.mu.Lock()
+	for _, a := range q.Body {
+		card[a.Pred] = e.card[a.Pred]
+	}
+	e.mu.Unlock()
+	return engine.OrderBody(q.Body, func(pred string) int { return card[pred] }, -1)
+}
+
+// bindKeys evaluates the partial join of the already-fetched atoms locally
+// and returns the distinct values of bindVars — the bound join keys to
+// ship to the next atom's peer. Comparisons already fully bound are
+// applied so impossible keys are never shipped.
+func (e *Executor) bindKeys(eng *engine.Engine, q lang.CQ, done []int, localNames []string, bindVars []lang.Term, boundVars map[string]bool) ([]rel.Tuple, error) {
+	body := make([]lang.Atom, 0, len(done))
+	for _, bi := range done {
+		la := q.Body[bi].Clone()
+		la.Pred = localNames[bi]
+		body = append(body, la)
+	}
+	var comps []lang.Comparison
+	for _, c := range q.Comps {
+		ground := true
+		for _, v := range c.Vars(nil) {
+			if !boundVars[v.Name] {
+				ground = false
+				break
+			}
+		}
+		if ground {
+			comps = append(comps, c)
+		}
+	}
+	head := lang.Atom{Pred: "bind.keys", Args: make([]lang.Term, len(bindVars))}
+	copy(head.Args, bindVars)
+	return eng.EvalCQ(lang.CQ{Head: head, Body: body, Comps: comps})
+}
+
+// bindFetchAtom fetches, via the bind op, the tuples of atom a matching
+// the bound keys (plus the atom's own constants) and stores them in
+// scratch under a step-unique local name it returns. The result set
+// depends on the shipped keys, so bind fetches are never shared the way
+// plain selection fetches are.
+func (e *Executor) bindFetchAtom(a lang.Atom, bindCols []int, varIdx map[string]int, keys []rel.Tuple, scratch *rel.Instance, step int) (string, error) {
+	rows := make([][]string, len(keys))
+	for i, kt := range keys {
+		row := make([]string, len(bindCols))
+		for j, pos := range bindCols {
+			row[j] = kt[varIdx[a.Args[pos].Name]]
+		}
+		rows[i] = row
+	}
+	e.mu.Lock()
+	addr := e.addr[a.Pred]
+	e.mu.Unlock()
+	name := selName(a) + "#bind" + strconv.Itoa(step)
+	var tuples []rel.Tuple
+	err := e.withClient(addr, func(c *Client) error {
+		ts, err := c.BindEval(a, bindCols, rows)
+		tuples = ts
+		return err
+	})
+	if err != nil {
+		return "", err
+	}
+	for _, t := range tuples {
+		if _, err := scratch.Add(name, t); err != nil {
+			return "", err
+		}
+	}
+	return name, nil
+}
+
+// selName returns a collision-free scratch-relation name for atom a's
+// selection pattern: the predicate and every constant are length-prefixed
+// (engine.AppendKeyPart), so a constant containing delimiter bytes like
+// '|' or '=' cannot alias a different pattern (e.g. R with constant
+// "x|1=y" at position 0 versus constants "x","y" at positions 0 and 1).
+func selName(a lang.Atom) string {
+	b := engine.AppendKeyPart(nil, a.Pred)
+	for i, t := range a.Args {
+		if t.IsConst() {
+			b = append(b, '|')
+			b = strconv.AppendInt(b, int64(i), 10)
+			b = append(b, '=')
+			b = engine.AppendKeyPart(b, t.Name)
+		}
+	}
+	return string(b)
 }
 
 // fetchAtom retrieves the tuples matching atom a from its peer with the
 // atom's constant positions pushed as selections, storing them in scratch
-// under a selection-specific local name it returns.
+// under a selection-specific local name it returns. Repeated atoms with
+// the same selection pattern share one fetch via the fetched set.
 func (e *Executor) fetchAtom(a lang.Atom, scratch *rel.Instance, fetched map[string]bool) (string, error) {
-	// Local name encodes the selection pattern so repeated atoms share
-	// the fetch.
-	var sb strings.Builder
-	sb.WriteString(a.Pred)
-	for i, t := range a.Args {
-		if t.IsConst() {
-			fmt.Fprintf(&sb, "|%d=%s", i, t.Name)
-		}
-	}
-	localName := sb.String()
+	localName := selName(a)
 	if fetched[localName] {
 		return localName, nil
 	}
 	e.mu.Lock()
 	addr := e.addr[a.Pred]
 	e.mu.Unlock()
-	c, err := e.client(addr)
-	if err != nil {
-		return "", err
-	}
 	// Remote query: head = fresh vars for every position (so the peer
 	// returns full rows), constants kept in the body atom for push-down.
 	args := make([]lang.Term, len(a.Args))
@@ -201,7 +419,12 @@ func (e *Executor) fetchAtom(a lang.Atom, scratch *rel.Instance, fetched map[str
 		Head: lang.Atom{Pred: "fetch", Args: head},
 		Body: []lang.Atom{{Pred: a.Pred, Args: args}},
 	}
-	rows, err := c.Eval(remote)
+	var rows []rel.Tuple
+	err := e.withClient(addr, func(c *Client) error {
+		rs, err := c.Eval(remote)
+		rows = rs
+		return err
+	})
 	if err != nil {
 		return "", err
 	}

@@ -12,7 +12,7 @@ import (
 
 // startServer spins up a peer server over the given facts and returns its
 // address and a cleanup-registered server.
-func startServer(t *testing.T, facts map[string][]rel.Tuple) string {
+func startServer(t testing.TB, facts map[string][]rel.Tuple) string {
 	t.Helper()
 	data := rel.NewInstance()
 	for pred, ts := range facts {
@@ -44,6 +44,10 @@ func TestClientCatalogScanEval(t *testing.T) {
 	preds, err := c.Catalog()
 	if err != nil || len(preds) != 1 || preds[0] != "FH.doc" {
 		t.Fatalf("catalog = %v err = %v", preds, err)
+	}
+	cards, err := c.CatalogStats()
+	if err != nil || len(cards) != 1 || cards["FH.doc"] != 2 {
+		t.Fatalf("catalog stats = %v err = %v", cards, err)
 	}
 	rows, err := c.Scan("FH.doc")
 	if err != nil || len(rows) != 2 {

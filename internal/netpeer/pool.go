@@ -1,0 +1,100 @@
+package netpeer
+
+import (
+	"fmt"
+	"sync"
+)
+
+// maxIdlePerAddr caps how many idle connections a pool keeps per address;
+// bursts beyond the cap dial extra connections and close them on return.
+const maxIdlePerAddr = 8
+
+// pool is a small per-address connection pool. A Client is not safe for
+// concurrent use, so concurrent executor work (parallel UCQ disjuncts,
+// overlapping EvalCQ calls from different goroutines) borrows a dedicated
+// connection per request and returns it afterwards. Broken connections —
+// where a transport-level failure left the stream desynced (request
+// written, response unread) — are closed on return instead of pooled, so a
+// later borrower can never read a stale frame.
+type pool struct {
+	addr     string
+	counters *Counters
+
+	mu     sync.Mutex
+	idle   []*Client
+	closed bool
+}
+
+func newPool(addr string, counters *Counters) *pool {
+	return &pool{addr: addr, counters: counters}
+}
+
+// get returns a connection to the pool's address, reusing an idle one when
+// available. reused reports whether the connection predates this call: a
+// reused connection may have died while idle, so callers issuing idempotent
+// requests may retry once on a fresh dial (see Executor.withClient).
+func (p *pool) get() (c *Client, reused bool, err error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, false, fmt.Errorf("netpeer: pool for %s is closed", p.addr)
+	}
+	if n := len(p.idle); n > 0 {
+		c = p.idle[n-1]
+		p.idle[n-1] = nil
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return c, true, nil
+	}
+	p.mu.Unlock()
+	c, err = p.dial()
+	return c, false, err
+}
+
+// dial opens a fresh connection wired to the pool's shared counters,
+// bypassing the idle list.
+func (p *pool) dial() (*Client, error) {
+	c, err := Dial(p.addr)
+	if err != nil {
+		return nil, err
+	}
+	c.counters = p.counters
+	return c, nil
+}
+
+// put returns a connection for reuse. Broken connections, and any returned
+// after the pool closed or beyond the idle cap, are closed instead.
+func (p *pool) put(c *Client) {
+	if c == nil {
+		return
+	}
+	if c.broken {
+		c.Close()
+		return
+	}
+	p.mu.Lock()
+	if p.closed || len(p.idle) >= maxIdlePerAddr {
+		p.mu.Unlock()
+		c.Close()
+		return
+	}
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+}
+
+// close closes every idle connection and marks the pool closed; in-flight
+// borrowers finish their request and their put closes the connection.
+func (p *pool) close() error {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.closed = true
+	p.mu.Unlock()
+	var first error
+	for _, c := range idle {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,10 +1,31 @@
 // Package netpeer turns the PDMS into an actually distributed system: each
 // peer runs a Server exposing its stored relations over a newline-delimited
 // JSON/TCP protocol (package wire), and an Executor evaluates reformulated
-// unions of conjunctive queries across the network — pushing each
-// conjunctive rewriting down to a single peer when all its atoms live
-// there, and otherwise fetching (selection-pushed) per-atom scans and
-// joining locally.
+// unions of conjunctive queries across the network.
+//
+// The protocol has four ops (see package wire for the JSON envelopes):
+//
+//   - "catalog": list the stored relations served by this peer together
+//     with their current cardinalities (the executor's join-order
+//     heuristic consumes the cardinalities as estimates).
+//   - "scan": return every tuple of one relation.
+//   - "eval": evaluate a conjunctive query whose atoms all name relations
+//     served by this peer; used for full push-down of single-peer
+//     rewritings and for selection-pushed per-atom fetches.
+//   - "bind": the semi-join half of bind-join execution. The request
+//     carries one atom (constants pushed down as selections) plus a batch
+//     of bound join-key rows for the atom's BindCols positions; the server
+//     probes its indexed engine once per key (engine.ProbeByKeyBatch) and
+//     returns the distinct matching tuples instead of a full scan.
+//
+// Cross-peer rewritings execute as bind-joins: the Executor orders atoms by
+// the engine's selectivity heuristic, fetches the first atom with its
+// constant selections pushed down, and for each later atom ships the
+// distinct join-key values bound so far ("bind" op) so the remote peer
+// returns only tuples that can participate in the join. UCQ disjuncts fan
+// out over a worker pool, multiplexed over per-address connection pools
+// (one Client is not safe for concurrent use). Both sides keep wire-level
+// counters (requests, rows, bytes) so the shipping savings are measurable.
 //
 // The paper treats query execution as out of scope ("recent techniques for
 // adaptive query processing are well suited for our context"); this package
@@ -18,7 +39,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/engine"
 	"repro/internal/lang"
@@ -37,6 +60,31 @@ type Server struct {
 	lis    net.Listener
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+
+	requests   atomic.Uint64
+	rowsServed atomic.Uint64
+	bytesSent  atomic.Uint64
+	bytesRecv  atomic.Uint64
+}
+
+// ServerStats is a snapshot of a server's cumulative wire-level counters.
+type ServerStats struct {
+	// Requests counts protocol requests handled (including errors).
+	Requests uint64
+	// RowsServed counts tuples returned across all responses.
+	RowsServed uint64
+	// BytesSent and BytesRecv count response and request bytes on the wire.
+	BytesSent, BytesRecv uint64
+}
+
+// Stats returns a snapshot of the server's wire-level counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Requests:   s.requests.Load(),
+		RowsServed: s.rowsServed.Load(),
+		BytesSent:  s.bytesSent.Load(),
+		BytesRecv:  s.bytesRecv.Load(),
+	}
 }
 
 // NewServer creates a server over the given instance (which the server
@@ -100,6 +148,18 @@ func (s *Server) acceptLoop(ctx context.Context, lis net.Listener) {
 	}
 }
 
+// serverConnWriter counts response bytes as they hit the socket.
+type serverConnWriter struct {
+	s    *Server
+	conn net.Conn
+}
+
+func (w serverConnWriter) Write(p []byte) (int, error) {
+	n, err := w.conn.Write(p)
+	w.s.bytesSent.Add(uint64(n))
+	return n, err
+}
+
 func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 	// Close the connection when the server shuts down so the Scan below
 	// unblocks and Close's WaitGroup drains even with idle clients.
@@ -107,13 +167,15 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 	defer stop()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	enc := json.NewEncoder(conn)
+	enc := json.NewEncoder(serverConnWriter{s: s, conn: conn})
 	for sc.Scan() {
 		select {
 		case <-ctx.Done():
 			return
 		default:
 		}
+		s.requests.Add(1)
+		s.bytesRecv.Add(uint64(len(sc.Bytes()) + 1))
 		var req wire.Request
 		resp := wire.Response{}
 		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
@@ -121,6 +183,7 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 		} else {
 			resp = s.handle(req)
 		}
+		s.rowsServed.Add(uint64(len(resp.Rows)))
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
@@ -132,7 +195,12 @@ func (s *Server) handle(req wire.Request) wire.Response {
 	defer s.mu.RUnlock()
 	switch req.Op {
 	case "catalog":
-		return wire.Response{Preds: s.data.Relations()}
+		preds := s.data.Relations()
+		cards := make([]int, len(preds))
+		for i, p := range preds {
+			cards[i] = s.data.Relation(p).Len()
+		}
+		return wire.Response{Preds: preds, Cards: cards}
 	case "scan":
 		r := s.data.Relation(req.Pred)
 		if r == nil {
@@ -152,17 +220,143 @@ func (s *Server) handle(req wire.Request) wire.Response {
 			return wire.Response{Error: err.Error()}
 		}
 		return wire.Response{Rows: wire.TuplesToRows(rows)}
+	case "bind":
+		rows, err := s.handleBind(req)
+		if err != nil {
+			return wire.Response{Error: err.Error()}
+		}
+		return wire.Response{Rows: wire.TuplesToRows(rows)}
 	default:
 		return wire.Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
 }
 
-// Client is a connection to one peer server. Not safe for concurrent use;
-// the Executor keeps one per goroutine.
+// handleBind answers one bound-key batch: the distinct tuples of the atom's
+// relation matching the atom's constants plus, at the BindCols positions,
+// any one of the shipped key rows. Probe columns are the constant positions
+// merged with the bind positions, so the whole batch runs off one hash
+// index. The result may be a superset of what the join needs (repeated
+// variables inside the atom are re-checked by the caller's local join).
+func (s *Server) handleBind(req wire.Request) ([]rel.Tuple, error) {
+	if req.Atom == nil {
+		return nil, fmt.Errorf("bind: missing atom")
+	}
+	a, err := req.Atom.ToAtom()
+	if err != nil {
+		return nil, err
+	}
+	if len(req.BindCols) == 0 {
+		return nil, fmt.Errorf("bind: no bound columns for %s", a.Pred)
+	}
+	// keyCol pins one probe column to either the atom constant at that
+	// position or a per-row bind value.
+	type keyCol struct {
+		col      int
+		constVal string
+		bindIdx  int // index into each bind row, or -1 for a constant
+	}
+	var kcs []keyCol
+	for pos, t := range a.Args {
+		if t.IsConst() {
+			kcs = append(kcs, keyCol{col: pos, constVal: t.Name, bindIdx: -1})
+		}
+	}
+	for i, c := range req.BindCols {
+		if c < 0 || c >= a.Arity() {
+			return nil, fmt.Errorf("bind: column %d out of range for %s/%d", c, a.Pred, a.Arity())
+		}
+		if a.Args[c].IsConst() {
+			return nil, fmt.Errorf("bind: column %d of %s is a pushed constant", c, a.Pred)
+		}
+		kcs = append(kcs, keyCol{col: c, bindIdx: i})
+	}
+	sort.Slice(kcs, func(i, j int) bool { return kcs[i].col < kcs[j].col })
+	for i := 1; i < len(kcs); i++ {
+		if kcs[i].col == kcs[i-1].col {
+			return nil, fmt.Errorf("bind: duplicate column %d for %s", kcs[i].col, a.Pred)
+		}
+	}
+	cols := make([]int, len(kcs))
+	for i, kc := range kcs {
+		cols[i] = kc.col
+	}
+	keys := make([][]string, 0, len(req.BindRows))
+	for _, row := range req.BindRows {
+		if len(row) != len(req.BindCols) {
+			return nil, fmt.Errorf("bind: row has %d values, want %d", len(row), len(req.BindCols))
+		}
+		key := make([]string, len(kcs))
+		for j, kc := range kcs {
+			if kc.bindIdx < 0 {
+				key[j] = kc.constVal
+			} else {
+				key[j] = row[kc.bindIdx]
+			}
+		}
+		keys = append(keys, key)
+	}
+	return s.eng.ProbeByKeyBatch(a.Pred, cols, keys)
+}
+
+// Counters aggregates wire-level client traffic, typically shared by every
+// pooled connection of one Executor. All fields are updated atomically;
+// safe for concurrent use.
+type Counters struct {
+	requests    atomic.Uint64
+	rowsFetched atomic.Uint64
+	bytesSent   atomic.Uint64
+	bytesRecv   atomic.Uint64
+}
+
+// WireStats is a snapshot of client-side wire counters.
+type WireStats struct {
+	// Requests counts protocol round trips issued.
+	Requests uint64
+	// RowsFetched counts tuples received in responses. This is the
+	// headline bind-join metric: a semi-join ships only tuples that can
+	// join, so RowsFetched drops by the join selectivity versus whole-
+	// relation fetching.
+	RowsFetched uint64
+	// BytesSent and BytesRecv count request and response bytes on the wire.
+	BytesSent, BytesRecv uint64
+}
+
+// Snapshot returns the current counter values.
+func (ct *Counters) Snapshot() WireStats {
+	return WireStats{
+		Requests:    ct.requests.Load(),
+		RowsFetched: ct.rowsFetched.Load(),
+		BytesSent:   ct.bytesSent.Load(),
+		BytesRecv:   ct.bytesRecv.Load(),
+	}
+}
+
+// Client is a connection to one peer server. A Client is not safe for
+// concurrent use: the Executor multiplexes concurrent work over a
+// per-address pool of Clients, borrowing one per in-flight request.
 type Client struct {
 	conn net.Conn
 	sc   *bufio.Scanner
 	enc  *json.Encoder
+	// counters, when non-nil, aggregates this client's traffic (set by the
+	// executor's pool so all pooled connections share one Counters).
+	counters *Counters
+	// broken is set when a transport-level failure leaves the stream
+	// desynced (request written but response unread, or a partial/garbled
+	// frame consumed): reusing the connection could pair a later request
+	// with a stale response, so the pool drops broken clients.
+	broken bool
+}
+
+// clientConnWriter counts request bytes as they hit the socket.
+type clientConnWriter struct{ c *Client }
+
+func (w clientConnWriter) Write(p []byte) (int, error) {
+	n, err := w.c.conn.Write(p)
+	if w.c.counters != nil {
+		w.c.counters.bytesSent.Add(uint64(n))
+	}
+	return n, err
 }
 
 // Dial connects to a peer server.
@@ -173,28 +367,48 @@ func Dial(addr string) (*Client, error) {
 	}
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	return &Client{conn: conn, sc: sc, enc: json.NewEncoder(conn)}, nil
+	c := &Client{conn: conn, sc: sc}
+	c.enc = json.NewEncoder(clientConnWriter{c: c})
+	return c, nil
 }
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// Broken reports whether a transport-level failure has desynced the
+// connection; a broken client must not be reused.
+func (c *Client) Broken() bool { return c.broken }
+
 func (c *Client) roundTrip(req wire.Request) (wire.Response, error) {
+	if c.counters != nil {
+		c.counters.requests.Add(1)
+	}
 	if err := c.enc.Encode(req); err != nil {
+		c.broken = true
 		return wire.Response{}, err
 	}
 	if !c.sc.Scan() {
+		c.broken = true
 		if err := c.sc.Err(); err != nil {
 			return wire.Response{}, err
 		}
 		return wire.Response{}, fmt.Errorf("netpeer: connection closed")
 	}
+	if c.counters != nil {
+		c.counters.bytesRecv.Add(uint64(len(c.sc.Bytes()) + 1))
+	}
 	var resp wire.Response
 	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		c.broken = true
 		return wire.Response{}, err
 	}
 	if resp.Error != "" {
+		// A remote error is a well-framed response: the stream stays in
+		// sync and the connection remains usable.
 		return wire.Response{}, fmt.Errorf("netpeer: remote: %s", resp.Error)
+	}
+	if c.counters != nil {
+		c.counters.rowsFetched.Add(uint64(len(resp.Rows)))
 	}
 	return resp, nil
 }
@@ -206,6 +420,25 @@ func (c *Client) Catalog() ([]string, error) {
 		return nil, err
 	}
 	return resp.Preds, nil
+}
+
+// CatalogStats lists the relations the peer serves together with their
+// current cardinalities (estimates for join ordering; they may go stale
+// without affecting correctness).
+func (c *Client) CatalogStats() (map[string]int, error) {
+	resp, err := c.roundTrip(wire.Request{Op: "catalog"})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int, len(resp.Preds))
+	for i, p := range resp.Preds {
+		if i < len(resp.Cards) {
+			out[p] = resp.Cards[i]
+		} else {
+			out[p] = 0
+		}
+	}
+	return out, nil
 }
 
 // Scan fetches all tuples of one relation.
@@ -226,4 +459,32 @@ func (c *Client) Eval(q lang.CQ) ([]rel.Tuple, error) {
 		return nil, err
 	}
 	return wire.RowsToTuples(resp.Rows), nil
+}
+
+// bindBatchSize caps the bound-key rows shipped per bind request frame so a
+// huge bound side never produces an unbounded message.
+const bindBatchSize = 1024
+
+// BindEval fetches the distinct tuples of atom a that match the atom's
+// constants and, at the bindCols positions, at least one of the bound-key
+// rows. Rows are shipped in batches of bindBatchSize; the concatenated
+// result may contain duplicates across batches (callers deduplicate via
+// set-semantics insertion).
+func (c *Client) BindEval(a lang.Atom, bindCols []int, rows [][]string) ([]rel.Tuple, error) {
+	wa := wire.FromAtom(a)
+	var out []rel.Tuple
+	for start := 0; start < len(rows); start += bindBatchSize {
+		end := min(start+bindBatchSize, len(rows))
+		resp, err := c.roundTrip(wire.Request{
+			Op:       "bind",
+			Atom:     &wa,
+			BindCols: bindCols,
+			BindRows: rows[start:end],
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, wire.RowsToTuples(resp.Rows)...)
+	}
+	return out, nil
 }

@@ -3,12 +3,23 @@
 // the request/response envelopes of the peer protocol.
 //
 // The protocol is deliberately small: newline-delimited JSON over TCP, one
-// request per line, one response per line. Three request kinds:
+// request per line, one response per line. Four request kinds:
 //
 //	{"op":"eval", "query":{…}}        evaluate a CQ over this peer's stored
 //	                                  relations, returning the head tuples
 //	{"op":"scan", "pred":"FH.doc"}    return all tuples of one relation
-//	{"op":"catalog"}                  list the stored relations served here
+//	{"op":"catalog"}                  list the stored relations served here,
+//	                                  with their current cardinalities
+//	{"op":"bind", "atom":{…},         bind-join probe: return the distinct
+//	 "bindCols":[…], "bindRows":[…]}  tuples of the atom's relation that
+//	                                  match the atom's constants and, at the
+//	                                  bindCols positions, any one of the
+//	                                  shipped bindRows key batches
+//
+// The bind op is the semi-join half of cross-peer bind-join execution: the
+// querying peer ships the distinct join-key values it has bound so far
+// (in batches) instead of pulling the whole selection-pushed relation, and
+// the serving peer answers each batch from its hash indexes.
 package wire
 
 import (
@@ -159,22 +170,36 @@ func (q CQ) ToCQ() (lang.CQ, error) {
 
 // Request is one protocol request.
 type Request struct {
-	// Op is "eval", "scan" or "catalog".
+	// Op is "eval", "scan", "catalog" or "bind".
 	Op string `json:"op"`
 	// Query is the CQ for eval.
 	Query *CQ `json:"query,omitempty"`
 	// Pred is the relation for scan.
 	Pred string `json:"pred,omitempty"`
+	// Atom is the atom to probe for bind: constant arguments are pushed
+	// down as selections; variable arguments are unconstrained unless their
+	// position appears in BindCols.
+	Atom *Atom `json:"atom,omitempty"`
+	// BindCols lists the variable positions of Atom bound by BindRows.
+	BindCols []int `json:"bindCols,omitempty"`
+	// BindRows is one batch of bound join keys: each row supplies one value
+	// per BindCols entry. A tuple matches the batch when its projection onto
+	// BindCols equals at least one row.
+	BindRows [][]string `json:"bindRows,omitempty"`
 }
 
 // Response is one protocol response.
 type Response struct {
 	// Error is non-empty on failure; other fields are then unset.
 	Error string `json:"error,omitempty"`
-	// Rows carries eval/scan results.
+	// Rows carries eval/scan/bind results.
 	Rows [][]string `json:"rows,omitempty"`
 	// Preds carries the catalog listing.
 	Preds []string `json:"preds,omitempty"`
+	// Cards carries the catalog cardinalities, parallel to Preds. The
+	// executor's join-order heuristic consumes them as estimates; they may
+	// go stale without affecting correctness.
+	Cards []int `json:"cards,omitempty"`
 }
 
 // RowsToTuples converts response rows.

@@ -69,6 +69,55 @@ func TestTupleHelpers(t *testing.T) {
 	}
 }
 
+// A bind request — atom plus bound-key batch — survives the JSON round
+// trip with every field intact.
+func TestBindRequestRoundTripJSON(t *testing.T) {
+	a := FromAtom(lang.NewAtom("P.r", lang.Const("k"), lang.Var("x"), lang.Var("y")))
+	req := Request{
+		Op:       "bind",
+		Atom:     &a,
+		BindCols: []int{1, 2},
+		BindRows: [][]string{{"v1", "w1"}, {"v|2", "w=3"}},
+	}
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Request
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Op != "bind" || back.Atom == nil {
+		t.Fatalf("round trip: %+v", back)
+	}
+	la, err := back.Atom.ToAtom()
+	if err != nil || la.Pred != "P.r" || la.Arity() != 3 {
+		t.Fatalf("atom: %v (%v)", la, err)
+	}
+	if len(back.BindCols) != 2 || back.BindCols[0] != 1 || back.BindCols[1] != 2 {
+		t.Fatalf("bindCols: %v", back.BindCols)
+	}
+	if len(back.BindRows) != 2 || back.BindRows[1][0] != "v|2" || back.BindRows[1][1] != "w=3" {
+		t.Fatalf("bindRows: %v", back.BindRows)
+	}
+}
+
+// Catalog responses carry cardinalities parallel to the predicate list.
+func TestCatalogCardsRoundTripJSON(t *testing.T) {
+	resp := Response{Preds: []string{"A.r", "B.s"}, Cards: []int{10, 3}}
+	data, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Response
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Preds) != 2 || len(back.Cards) != 2 || back.Cards[0] != 10 || back.Cards[1] != 3 {
+		t.Fatalf("round trip: %+v", back)
+	}
+}
+
 // Property: random CQs survive the JSON round trip textually intact.
 func TestCQRoundTripProperty(t *testing.T) {
 	f := func(seed int64) bool {

@@ -282,6 +282,40 @@ func (n *Network) Query(query string) ([]Answer, error) {
 	return out, nil
 }
 
+// UCQEvaluator executes a reformulated union of conjunctive queries over
+// stored relations. Both the local indexed engine (*engine.Engine) and the
+// distributed *netpeer.Executor implement it.
+type UCQEvaluator interface {
+	EvalUCQ(u lang.UCQ) ([]rel.Tuple, error)
+}
+
+// QueryVia reformulates query at this network and executes the rewriting
+// through exec — typically a *netpeer.Executor, so the stored relations
+// may live on remote peers instead of in this network's local instance
+// (the full paper pipeline: pose at a peer, reformulate, execute across
+// the network). Reformulations are cached as usual; answers are not,
+// because remote data is outside the local generation counter and cached
+// answers could never be invalidated.
+func (n *Network) QueryVia(query string, exec UCQEvaluator) ([]Answer, error) {
+	q, err := parser.ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := n.ReformulateCQ(q)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := exec.EvalUCQ(ref.Rewriting)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Answer, len(rows))
+	for i, t := range rows {
+		out[i] = Answer(t)
+	}
+	return out, nil
+}
+
 // QueryCacheStats reports cumulative answer-cache hits and misses.
 type QueryCacheStats struct {
 	Hits, Misses uint64
