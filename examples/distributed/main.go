@@ -96,7 +96,23 @@ func main() {
 		fmt.Printf("  doctor=%s medic=%s\n", t[0], t[1])
 	}
 
+	// The all-shifts pairing joins the two peers on the shared shift
+	// variable, so the executor runs a genuine bind-join: the doctors'
+	// distinct shifts ship to the fire district, which probes its index
+	// and streams back only the medics on those shifts.
+	rows, err = mediator.QueryVia(`q(d, m, s) :- DC:OnCall(d, m, s)`, ex)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nall pairings (bind-join on the shift variable):")
+	for _, t := range rows {
+		fmt.Printf("  doctor=%s medic=%s shift=%s\n", t[0], t[1], t[2])
+	}
+
 	st := ex.WireStats()
 	fmt.Printf("\nwire traffic: %d requests, %d rows fetched, %d B sent, %d B received\n",
 		st.Requests, st.RowsFetched, st.BytesSent, st.BytesRecv)
+	fmt.Printf("streaming: largest frame %d B; %d bind batches shipped, %d pipelined (stalls paid: %d)\n",
+		st.MaxFrameBytes, st.BindBatches, st.BindBatchesPipelined,
+		st.BindBatches-st.BindBatchesPipelined)
 }

@@ -163,6 +163,39 @@ func TestDifferentialUCQ(t *testing.T) {
 	}
 }
 
+// TestDifferentialUCQWideFanout drives EvalUCQ's worker pool with far more
+// disjuncts than workers (the bounded fan-out mirrors the netpeer
+// executor's), checking the parallel result — and its first-failure error
+// semantics — against the naive oracle.
+func TestDifferentialUCQWideFanout(t *testing.T) {
+	for seed := 0; seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(int64(5000 + seed)))
+		domain := 3 + rng.Intn(5)
+		ins := randInstance(rng, domain)
+		e := New(ins)
+		first := randCQ(rng, domain)
+		u := lang.UCQ{Disjuncts: []lang.CQ{first}}
+		for len(u.Disjuncts) < 24 {
+			d := randCQ(rng, domain)
+			if d.Head.Arity() == first.Head.Arity() {
+				d.Head.Pred = first.Head.Pred
+				u.Disjuncts = append(u.Disjuncts, d)
+			}
+		}
+		want, errWant := rel.EvalUCQ(u, ins)
+		got, errGot := e.EvalUCQ(u)
+		if (errWant == nil) != (errGot == nil) {
+			t.Fatalf("seed %d: error mismatch: naive %v, engine %v", seed, errWant, errGot)
+		}
+		if errWant != nil {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: mismatch on\n%s\nnaive  %v\nengine %v", seed, u, want, got)
+		}
+	}
+}
+
 func TestDifferentialDatalog(t *testing.T) {
 	rules := []lang.CQ{
 		{Head: lang.NewAtom("T", lang.Var("x"), lang.Var("y")),

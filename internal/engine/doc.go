@@ -38,6 +38,14 @@
 // per (rule, pivot-atom) pair: the pivot scans the previous round's delta,
 // the remaining atoms probe indexes on the accumulating total instance.
 //
+// Streaming. StreamCQ and ProbeByKeyBatchYield are the enumeration hooks
+// behind the netpeer server's chunked responses: they yield distinct
+// tuples in discovery order as the plan runs, materializing nothing beyond
+// the dedup set, so results larger than memory-comfortable frames flow out
+// incrementally. EvalUCQ fans independent disjuncts out over a bounded
+// worker pool (concurrent evaluations are safe with each other), the same
+// concurrency shape the distributed executor uses.
+//
 // Invalidation. The engine itself never serves stale data — indexes catch
 // up from the relation log on every probe. Answer-level caching (and its
 // mutation-generation invalidation) lives one layer up, in pdms.Network,

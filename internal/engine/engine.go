@@ -173,31 +173,31 @@ func (e *Engine) probe(r *rel.Relation, cols []int, key string) []rel.Tuple {
 	return idx.buckets[key]
 }
 
-// ProbeByKeyBatch returns the distinct tuples of pred whose projection onto
-// cols equals one of keys, building (or incrementally catching up) the same
-// lazy hash index that regular probe steps use. Every key must supply
-// len(cols) values. This is the server-side substrate for netpeer's
-// bind-join: the querying peer ships batches of bound join keys and the
-// serving peer probes its index once per key instead of scanning.
-func (e *Engine) ProbeByKeyBatch(pred string, cols []int, keys [][]string) ([]rel.Tuple, error) {
+// ProbeByKeyBatchYield invokes yield once per distinct tuple of pred whose
+// projection onto cols equals one of keys, building (or incrementally
+// catching up) the same lazy hash index that regular probe steps use.
+// Every key must supply len(cols) values. Tuples stream out as the keys
+// are probed — nothing beyond the dedup set is materialized — which is the
+// server-side substrate for netpeer's chunked bind responses. Returning
+// ErrStop from yield ends the stream without error.
+func (e *Engine) ProbeByKeyBatchYield(pred string, cols []int, keys [][]string, yield func(rel.Tuple) error) error {
 	if len(cols) == 0 {
-		return nil, fmt.Errorf("engine: ProbeByKeyBatch on %s needs at least one column", pred)
+		return fmt.Errorf("engine: ProbeByKeyBatch on %s needs at least one column", pred)
 	}
 	r := e.ins.Relation(pred)
 	if r == nil {
-		return nil, nil
+		return nil
 	}
 	for _, c := range cols {
 		if c < 0 || c >= r.Arity {
-			return nil, fmt.Errorf("engine: ProbeByKeyBatch column %d out of range for %s/%d", c, pred, r.Arity)
+			return fmt.Errorf("engine: ProbeByKeyBatch column %d out of range for %s/%d", c, pred, r.Arity)
 		}
 	}
 	seen := map[string]bool{}
-	var out []rel.Tuple
 	var kb []byte
 	for _, key := range keys {
 		if len(key) != len(cols) {
-			return nil, fmt.Errorf("engine: ProbeByKeyBatch key %v has %d values, want %d", key, len(key), len(cols))
+			return fmt.Errorf("engine: ProbeByKeyBatch key %v has %d values, want %d", key, len(key), len(cols))
 		}
 		kb = kb[:0]
 		for _, v := range key {
@@ -211,9 +211,28 @@ func (e *Engine) ProbeByKeyBatch(pred string, cols []int, keys [][]string) ([]re
 		for _, t := range e.probe(r, cols, string(kb)) {
 			if k := t.Key(); !seen[k] {
 				seen[k] = true
-				out = append(out, t)
+				if err := yield(t); err != nil {
+					if errors.Is(err, ErrStop) {
+						return nil
+					}
+					return err
+				}
 			}
 		}
+	}
+	return nil
+}
+
+// ProbeByKeyBatch is ProbeByKeyBatchYield materialized: it returns the
+// distinct matching tuples as a slice.
+func (e *Engine) ProbeByKeyBatch(pred string, cols []int, keys [][]string) ([]rel.Tuple, error) {
+	var out []rel.Tuple
+	err := e.ProbeByKeyBatchYield(pred, cols, keys, func(t rel.Tuple) error {
+		out = append(out, t)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -246,15 +265,18 @@ func (e *Engine) plan(key string, q lang.CQ) (*Plan, error) {
 	return p, nil
 }
 
-// EvalCQ evaluates a conjunctive query with set semantics and returns the
-// distinct head tuples, sorted — the indexed equivalent of rel.EvalCQ.
-func (e *Engine) EvalCQ(q lang.CQ) ([]rel.Tuple, error) {
+// StreamCQ invokes yield once per distinct head tuple of q, in discovery
+// order (no sort, no result materialization beyond the dedup set), so
+// callers can forward rows incrementally — the netpeer server streams
+// eval results over the wire through this hook instead of buffering the
+// whole answer. Returning ErrStop from yield ends the stream without
+// error. The yielded tuple is freshly allocated; callers may keep it.
+func (e *Engine) StreamCQ(q lang.CQ, yield func(rel.Tuple) error) error {
 	p, err := e.plan(q.Canonical(), q)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	seen := map[string]bool{}
-	var out []rel.Tuple
 	err = e.run(p, nil, func(slots []string) error {
 		head := make(rel.Tuple, len(p.head))
 		for i, h := range p.head {
@@ -266,31 +288,77 @@ func (e *Engine) EvalCQ(q lang.CQ) ([]rel.Tuple, error) {
 		}
 		if k := head.Key(); !seen[k] {
 			seen[k] = true
-			out = append(out, head)
+			return yield(head)
 		}
 		return nil
 	})
-	if err != nil {
+	if errors.Is(err, ErrStop) {
+		return nil
+	}
+	return err
+}
+
+// EvalCQ evaluates a conjunctive query with set semantics and returns the
+// distinct head tuples, sorted — the indexed equivalent of rel.EvalCQ.
+func (e *Engine) EvalCQ(q lang.CQ) ([]rel.Tuple, error) {
+	var out []rel.Tuple
+	if err := e.StreamCQ(q, func(t rel.Tuple) error {
+		out = append(out, t)
+		return nil
+	}); err != nil {
 		return nil, err
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
 	return out, nil
 }
 
+// maxUCQFanout caps the worker pool evaluating UCQ disjuncts concurrently
+// (mirrors the netpeer executor's fan-out, so local and distributed UCQ
+// evaluation share the same concurrency shape).
+const maxUCQFanout = 8
+
 // EvalUCQ evaluates a union of conjunctive queries, returning the distinct
 // union of the disjuncts' answers, sorted — the indexed equivalent of
-// rel.EvalUCQ.
+// rel.EvalUCQ. Disjuncts are independent and concurrent evaluations are
+// safe with each other, so they fan out over a bounded worker pool; on
+// error the first failing disjunct (by position) wins.
 func (e *Engine) EvalUCQ(u lang.UCQ) ([]rel.Tuple, error) {
 	if err := u.Validate(); err != nil {
 		return nil, err
 	}
-	groups := make([][]rel.Tuple, len(u.Disjuncts))
-	for i, q := range u.Disjuncts {
-		rows, err := e.EvalCQ(q)
+	n := len(u.Disjuncts)
+	groups := make([][]rel.Tuple, n)
+	if n <= 1 {
+		for i, q := range u.Disjuncts {
+			rows, err := e.EvalCQ(q)
+			if err != nil {
+				return nil, err
+			}
+			groups[i] = rows
+		}
+		return rel.DistinctSorted(groups...), nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < min(n, maxUCQFanout); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				groups[i], errs[i] = e.EvalCQ(u.Disjuncts[i])
+			}
+		}()
+	}
+	for i := range u.Disjuncts {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		groups[i] = rows
 	}
 	return rel.DistinctSorted(groups...), nil
 }

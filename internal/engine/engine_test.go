@@ -225,6 +225,80 @@ func TestEnumerateAndStop(t *testing.T) {
 	}
 }
 
+// StreamCQ must yield exactly EvalCQ's distinct rows (order aside), stop
+// early on ErrStop, and propagate yield errors.
+func TestStreamCQ(t *testing.T) {
+	ins := rel.NewInstance()
+	ins.MustAdd("E", "a", "b")
+	ins.MustAdd("E", "b", "c")
+	ins.MustAdd("E", "c", "c")
+	e := New(ins)
+	q := lang.CQ{
+		Head: lang.NewAtom("q", lang.Var("y")),
+		Body: []lang.Atom{lang.NewAtom("E", lang.Var("x"), lang.Var("y"))},
+	}
+	want := mustEval(t, e, q) // [b c]
+	seen := map[string]bool{}
+	if err := e.StreamCQ(q, func(tu rel.Tuple) error {
+		if seen[tu.Key()] {
+			t.Fatalf("duplicate streamed row %v", tu)
+		}
+		seen[tu.Key()] = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("streamed %d rows, want %d", len(seen), len(want))
+	}
+	for _, tu := range want {
+		if !seen[tu.Key()] {
+			t.Fatalf("row %v missing from stream", tu)
+		}
+	}
+	n := 0
+	if err := e.StreamCQ(q, func(rel.Tuple) error { n++; return ErrStop }); err != nil || n != 1 {
+		t.Fatalf("ErrStop: n = %d, err = %v", n, err)
+	}
+	boom := fmt.Errorf("boom")
+	if err := e.StreamCQ(q, func(rel.Tuple) error { return boom }); err != boom {
+		t.Fatalf("yield error not propagated: %v", err)
+	}
+}
+
+// ProbeByKeyBatchYield streams the same distinct tuples ProbeByKeyBatch
+// materializes and honors ErrStop.
+func TestProbeByKeyBatchYield(t *testing.T) {
+	ins := rel.NewInstance()
+	ins.MustAdd("R", "k1", "a")
+	ins.MustAdd("R", "k1", "b")
+	ins.MustAdd("R", "k2", "c")
+	ins.MustAdd("R", "k9", "z")
+	e := New(ins)
+	keys := [][]string{{"k1"}, {"k2"}, {"k1"}}
+	want, err := e.ProbeByKeyBatch("R", []int{0}, keys)
+	if err != nil || len(want) != 3 {
+		t.Fatalf("materialized: %v (%v)", want, err)
+	}
+	var got []rel.Tuple
+	if err := e.ProbeByKeyBatchYield("R", []int{0}, keys, func(tu rel.Tuple) error {
+		got = append(got, tu)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("yield variant diverges: %v vs %v", got, want)
+	}
+	n := 0
+	if err := e.ProbeByKeyBatchYield("R", []int{0}, keys, func(rel.Tuple) error {
+		n++
+		return ErrStop
+	}); err != nil || n != 1 {
+		t.Fatalf("ErrStop: n = %d, err = %v", n, err)
+	}
+}
+
 // TestEnumerateAlphaEquivalentBodies is a regression test: two bodies that
 // are identical up to variable renaming must each get substitutions under
 // their OWN variable names, not the first-compiled plan's (the plan cache

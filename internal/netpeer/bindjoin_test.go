@@ -231,11 +231,28 @@ func TestBindJoinDifferentialRandomized(t *testing.T) {
 			}
 		}
 		addrs := []string{startServer(t, peerData[0]), startServer(t, peerData[1])}
-		for _, fetchAll := range []bool{false, true} {
+		for _, mode := range []struct {
+			name     string
+			fetchAll bool
+			discover bool // learn cardinalities → exercises the adaptive switch
+		}{
+			{"bind", false, false},
+			{"bind-adaptive", false, true},
+			{"fetchall", true, false},
+		} {
+			fetchAll := mode.fetchAll
 			ex := NewExecutor()
 			ex.FetchAll = fetchAll
+			ex.BindPipeline = 1 + trial%3
 			for _, p := range preds {
 				ex.Route(p, addrs[home[p]])
+			}
+			if mode.discover {
+				for _, a := range addrs {
+					if err := ex.Discover(a); err != nil {
+						t.Fatal(err)
+					}
+				}
 			}
 			// Random UCQ: 1-3 chain-shaped disjuncts with arity-2 head.
 			var u lang.UCQ

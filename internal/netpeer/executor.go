@@ -13,18 +13,29 @@ import (
 // maxFanout caps the worker pool evaluating UCQ disjuncts concurrently.
 const maxFanout = 8
 
+// defaultBindPipeline is how many bind batches an executor keeps in flight
+// per connection: batch i+1 ships while batch i's rows stream back.
+const defaultBindPipeline = 4
+
 // Executor evaluates reformulated unions of conjunctive queries across the
 // peer network. It routes each conjunctive rewriting to the single peer
 // serving all its stored relations when possible (full push-down); when a
-// rewriting spans peers it runs a bind-join: atoms are ordered by the
-// engine planner's selectivity heuristic (using cardinalities learned at
-// Discover time), the first atom is fetched with its constant selections
-// pushed down, and each later atom ships the distinct join-key values
-// bound so far to its peer, which probes its hash indexes and returns only
-// tuples that can participate in the join. The final join runs locally
-// over an indexed scratch engine. Compiled plans are shared across local
-// joins, so identical rewritings (the common case for repeated queries)
-// skip replanning.
+// rewriting spans peers it runs a streaming, adaptive, pipelined
+// bind-join:
+//
+//   - Atoms are ordered by the engine planner's selectivity heuristic
+//     (cardinalities learned at Discover time and refreshed from the
+//     estimates piggybacked on every response).
+//   - The partial join is materialized once and extended incrementally per
+//     atom — remote rows stream chunk by chunk straight into a hash join
+//     against it, so no per-step prefix re-evaluation and no whole-fragment
+//     buffering happens (the fetched-atom prefix used to be re-joined once
+//     per cross-peer atom).
+//   - Per atom the executor ships the distinct join-key values bound so
+//     far ("bind" op) in pipelined batches, unless the peer's advertised
+//     cardinality says the whole selection-pushed relation is smaller than
+//     the key set — then fetching it outright moves fewer bytes, and the
+//     executor adapts.
 //
 // UCQ disjuncts are evaluated concurrently over a worker pool; all methods
 // are safe for concurrent use, multiplexing wire traffic over per-address
@@ -32,20 +43,26 @@ const maxFanout = 8
 type Executor struct {
 	// FetchAll forces the legacy whole-relation fetch path for cross-peer
 	// rewritings — every atom is pulled with only its constant selections
-	// pushed down, and no bound keys are shipped. For benchmarks and
-	// differential tests; leave false for bind-join execution.
+	// pushed down, no bound keys are shipped, and the join runs afterwards
+	// over a scratch engine. For benchmarks and differential tests; leave
+	// false for streaming bind-join execution.
 	FetchAll bool
+	// BindPipeline caps the bind batches in flight per connection
+	// (0 = defaultBindPipeline; 1 = sequential batch round trips, for
+	// benchmarks isolating the pipelining win).
+	BindPipeline int
 
 	mu sync.Mutex
 	// addr maps each stored relation to the address of the serving peer.
 	addr map[string]string
-	// card holds per-relation cardinality estimates from Discover, feeding
-	// the join-order heuristic (stale values shift the order, never the
-	// answer).
+	// card holds per-relation cardinality estimates, seeded by Discover
+	// and refreshed from the estimates piggybacked on every response.
+	// They feed the join-order heuristic and the adaptive bind-vs-fetch
+	// choice (stale values shift the plan, never the answer).
 	card map[string]int
 	// pools holds one connection pool per peer address.
 	pools map[string]*pool
-	// plans is shared by the per-join scratch engines.
+	// plans is shared by the per-join scratch engines of the FetchAll path.
 	plans *engine.PlanCache
 	// counters aggregates wire traffic across all pooled connections.
 	counters Counters
@@ -88,6 +105,31 @@ func (e *Executor) Discover(addr string) error {
 	return nil
 }
 
+// updateCards folds cardinalities piggybacked on responses into the
+// estimate table (only for relations already known, so a response cannot
+// invent routes).
+func (e *Executor) updateCards(preds []string, cards []int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, p := range preds {
+		if i >= len(cards) {
+			break
+		}
+		if _, ok := e.addr[p]; ok {
+			e.card[p] = cards[i]
+		}
+	}
+}
+
+// cardOf returns the current cardinality estimate for pred and whether one
+// is known.
+func (e *Executor) cardOf(pred string) (int, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n, ok := e.card[pred]
+	return n, ok
+}
+
 // WireStats returns a snapshot of the executor's cumulative wire counters
 // (aggregated across every pooled connection, past and present).
 func (e *Executor) WireStats() WireStats { return e.counters.Snapshot() }
@@ -114,7 +156,7 @@ func (e *Executor) pool(addr string) *pool {
 	defer e.mu.Unlock()
 	p, ok := e.pools[addr]
 	if !ok {
-		p = newPool(addr, &e.counters)
+		p = newPool(addr, &e.counters, e.updateCards)
 		e.pools[addr] = p
 	}
 	return p
@@ -125,7 +167,9 @@ func (e *Executor) pool(addr string) *pool {
 // fails at the transport level (it may have died or desynced while idle)
 // the call retries once on a freshly-dialed connection. Broken connections
 // are never returned to the pool (put closes them), so a transport error
-// can never leave a desynced stream for a later borrower.
+// can never leave a desynced stream for a later borrower. fn may therefore
+// run twice: streaming callers must tolerate re-delivery (the executor's
+// join state dedups remote tuples, which makes the replay idempotent).
 func (e *Executor) withClient(addr string, fn func(*Client) error) error {
 	p := e.pool(addr)
 	c, reused, err := p.get()
@@ -223,60 +267,319 @@ func (e *Executor) EvalCQ(q lang.CQ) ([]rel.Tuple, error) {
 		}
 		return rows, nil
 	}
+	if e.FetchAll {
+		return e.evalFetchAll(q)
+	}
+	return e.evalStreamingBindJoin(q)
+}
 
-	// Cross-peer rewriting: bind-join. Process atoms in selectivity order;
-	// the first atom (and any atom with no previously-bound variable) is
-	// fetched with constant push-down only, every later atom ships the
-	// distinct join keys bound so far so its peer returns just the tuples
-	// that can join. The fetched fragments land in a scratch instance and
-	// the full join (re-checking every constant, repeated variable and
-	// comparison) runs through an indexed local engine.
-	scratch := rel.NewInstance()
-	eng := engine.NewWithPlanCache(scratch, e.plans)
-	order := e.planOrder(q)
-	localNames := make([]string, len(q.Body))
-	fetched := map[string]bool{}
-	boundVars := map[string]bool{}
-	for step, bi := range order {
-		a := q.Body[bi]
-		var bindCols []int
-		varIdx := map[string]int{}
-		var bindVars []lang.Term
-		for pos, t := range a.Args {
-			if t.IsVar() && boundVars[t.Name] {
-				bindCols = append(bindCols, pos)
-				if _, ok := varIdx[t.Name]; !ok {
-					varIdx[t.Name] = len(bindVars)
-					bindVars = append(bindVars, t)
-				}
-			}
+// stepShape is the per-atom lowering of the streaming join: how one remote
+// tuple is checked against the atom's constants and repeated variables,
+// which positions join against the partial result, and which bind new
+// variables.
+type stepShape struct {
+	// constChecks re-verify pushed constants (the server already applied
+	// them; the check keeps correctness independent of the transport).
+	constChecks []struct {
+		pos int
+		val string
+	}
+	// dupChecks pair a position with the first occurrence of the same
+	// variable inside the atom: the tuple must agree with itself.
+	dupChecks [][2]int
+	// keyPoss are the first-occurrence positions of already-bound
+	// variables (the join key), parallel to joinVars.
+	keyPoss  []int
+	joinVars []string
+	// newPoss are the first-occurrence positions of new variables,
+	// parallel to newVars.
+	newPoss []int
+	newVars []string
+}
+
+// shapeOf classifies atom a's positions given the variables bound so far.
+func shapeOf(a lang.Atom, boundVars map[string]bool) stepShape {
+	var sh stepShape
+	firstPos := map[string]int{}
+	for pos, t := range a.Args {
+		if t.IsConst() {
+			sh.constChecks = append(sh.constChecks, struct {
+				pos int
+				val string
+			}{pos, t.Name})
+			continue
 		}
-		var name string
-		var err error
-		if e.FetchAll || len(bindCols) == 0 {
-			name, err = e.fetchAtom(a, scratch, fetched)
+		if fp, ok := firstPos[t.Name]; ok {
+			sh.dupChecks = append(sh.dupChecks, [2]int{pos, fp})
+			continue
+		}
+		firstPos[t.Name] = pos
+		if boundVars[t.Name] {
+			sh.keyPoss = append(sh.keyPoss, pos)
+			sh.joinVars = append(sh.joinVars, t.Name)
 		} else {
-			var keys []rel.Tuple
-			keys, err = e.bindKeys(eng, q, order[:step], localNames, bindVars, boundVars)
-			if err != nil {
-				return nil, err
-			}
-			if len(keys) == 0 {
-				// The partial join is already empty, so the full join is
-				// too: skip the remaining fetches entirely.
+			sh.newPoss = append(sh.newPoss, pos)
+			sh.newVars = append(sh.newVars, t.Name)
+		}
+	}
+	return sh
+}
+
+// evalStreamingBindJoin runs a cross-peer rewriting as a streaming,
+// adaptive, pipelined bind-join. The partial join is materialized once as
+// tuples over the variables bound so far and extended in place per atom:
+// remote rows stream chunk by chunk into a hash join against it (no
+// scratch instance, no per-step prefix re-evaluation). Per atom the
+// executor ships the distinct bound join keys in pipelined batches — or,
+// when the advertised remote cardinality is smaller than the key set,
+// fetches the selection-pushed relation outright. Comparisons apply at the
+// first step that grounds them, so impossible keys are never shipped.
+func (e *Executor) evalStreamingBindJoin(q lang.CQ) ([]rel.Tuple, error) {
+	if !q.IsSafe() {
+		return nil, fmt.Errorf("netpeer: unsafe query %s", q)
+	}
+	// Variable-free comparisons gate the whole query, exactly once.
+	compApplied := make([]bool, len(q.Comps))
+	for ci, c := range q.Comps {
+		if len(c.Vars(nil)) == 0 {
+			compApplied[ci] = true
+			if !c.Op.EvalConst(c.L, c.R) {
 				return nil, nil
 			}
-			name, err = e.bindFetchAtom(a, bindCols, varIdx, keys, scratch, step)
+		}
+	}
+
+	order := e.planOrder(q)
+	varCol := map[string]int{} // variable -> column in partial rows
+	var varOrder []string
+	boundVars := map[string]bool{}
+	partial := []rel.Tuple{{}} // the unit row: identity of the join
+
+	for _, bi := range order {
+		a := q.Body[bi]
+		sh := shapeOf(a, boundVars)
+
+		// Hash the partial rows on the join columns.
+		joinCols := make([]int, len(sh.joinVars))
+		for i, v := range sh.joinVars {
+			joinCols[i] = varCol[v]
+		}
+		var kb []byte
+		hash := make(map[string][]int, len(partial))
+		for i, row := range partial {
+			kb = kb[:0]
+			for _, c := range joinCols {
+				kb = engine.AppendKeyPart(kb, row[c])
+			}
+			hash[string(kb)] = append(hash[string(kb)], i)
+		}
+
+		// Distinct bound keys — the semi-join payload — and the adaptive
+		// choice: ship keys, or fetch the (selection-pushed) relation when
+		// its advertised cardinality is smaller than the key set.
+		useBind := len(sh.joinVars) > 0
+		var keyRows [][]string
+		if useBind {
+			seenKey := map[string]bool{}
+			for _, row := range partial {
+				kb = kb[:0]
+				for _, c := range joinCols {
+					kb = engine.AppendKeyPart(kb, row[c])
+				}
+				if seenKey[string(kb)] {
+					continue
+				}
+				seenKey[string(kb)] = true
+				key := make([]string, len(joinCols))
+				for j, c := range joinCols {
+					key[j] = row[c]
+				}
+				keyRows = append(keyRows, key)
+			}
+			if card, ok := e.cardOf(a.Pred); ok && card < len(keyRows) {
+				useBind = false
+			}
+		}
+
+		// Stream the remote rows straight into the join: probe the partial
+		// hash with each arriving tuple and extend matches with the new
+		// columns. seenRemote dedups across bind batches and makes the
+		// one retry withClient may perform idempotent.
+		var next []rel.Tuple
+		seenRemote := map[string]bool{}
+		process := func(t rel.Tuple) error {
+			if len(t) != a.Arity() {
+				return fmt.Errorf("netpeer: %s/%d: remote row has %d values", a.Pred, a.Arity(), len(t))
+			}
+			for _, cc := range sh.constChecks {
+				if t[cc.pos] != cc.val {
+					return nil
+				}
+			}
+			for _, d := range sh.dupChecks {
+				if t[d[0]] != t[d[1]] {
+					return nil
+				}
+			}
+			if k := t.Key(); seenRemote[k] {
+				return nil
+			} else {
+				seenRemote[k] = true
+			}
+			kb = kb[:0]
+			for _, p := range sh.keyPoss {
+				kb = engine.AppendKeyPart(kb, t[p])
+			}
+			for _, pi := range hash[string(kb)] {
+				row := partial[pi]
+				nr := make(rel.Tuple, len(varOrder)+len(sh.newPoss))
+				copy(nr, row)
+				for j, p := range sh.newPoss {
+					nr[len(varOrder)+j] = t[p]
+				}
+				next = append(next, nr)
+			}
+			return nil
+		}
+
+		addr := e.addrOf(a.Pred)
+		depth := e.BindPipeline
+		if depth <= 0 {
+			depth = defaultBindPipeline
+		}
+		var err error
+		if useBind {
+			err = e.withClient(addr, func(c *Client) error {
+				return c.BindEvalStream(a, sh.keyPoss, keyRows, depth, process)
+			})
+		} else {
+			remote := selectionQuery(a)
+			err = e.withClient(addr, func(c *Client) error {
+				return c.EvalStream(remote, process)
+			})
 		}
 		if err != nil {
 			return nil, err
 		}
-		localNames[bi] = name
-		for _, t := range a.Args {
-			if t.IsVar() {
-				boundVars[t.Name] = true
+
+		partial = next
+		for _, v := range sh.newVars {
+			varCol[v] = len(varOrder)
+			varOrder = append(varOrder, v)
+			boundVars[v] = true
+		}
+		// Apply every comparison that just became ground, pruning the
+		// partial join before its keys are shipped to the next peer.
+		for ci, c := range q.Comps {
+			if compApplied[ci] {
+				continue
+			}
+			ground := true
+			for _, v := range c.Vars(nil) {
+				if !boundVars[v.Name] {
+					ground = false
+					break
+				}
+			}
+			if !ground {
+				continue
+			}
+			compApplied[ci] = true
+			kept := partial[:0]
+			for _, row := range partial {
+				if evalComp(c, varCol, row) {
+					kept = append(kept, row)
+				}
+			}
+			partial = kept
+		}
+		if len(partial) == 0 {
+			// The partial join is already empty, so the full join is too:
+			// skip the remaining fetches entirely.
+			return nil, nil
+		}
+	}
+
+	// Mirror the engine: a comparison whose variables the body never binds
+	// is an error — but only observable when a complete match exists.
+	for ci, c := range q.Comps {
+		if !compApplied[ci] {
+			return nil, fmt.Errorf("netpeer: comparison %s not bound by body", c)
+		}
+	}
+
+	out := make([]rel.Tuple, 0, len(partial))
+	for _, row := range partial {
+		h := make(rel.Tuple, len(q.Head.Args))
+		for i, t := range q.Head.Args {
+			if t.IsConst() {
+				h[i] = t.Name
+			} else {
+				h[i] = row[varCol[t.Name]]
 			}
 		}
+		out = append(out, h)
+	}
+	return rel.DistinctSorted(out), nil
+}
+
+// addrOf returns the routed address for pred ("" when unrouted; EvalCQ
+// validated routes up front).
+func (e *Executor) addrOf(pred string) string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.addr[pred]
+}
+
+// evalComp evaluates comparison c over one partial-join row.
+func evalComp(c lang.Comparison, varCol map[string]int, row rel.Tuple) bool {
+	resolve := func(t lang.Term) lang.Term {
+		if t.IsConst() {
+			return t
+		}
+		return lang.Const(row[varCol[t.Name]])
+	}
+	return c.Op.EvalConst(resolve(c.L), resolve(c.R))
+}
+
+// selectionQuery builds the remote fetch query for atom a: head = one
+// fresh variable (or the constant itself) per position, constants kept in
+// the body for push-down, so the peer returns full rows of the selection.
+func selectionQuery(a lang.Atom) lang.CQ {
+	args := make([]lang.Term, len(a.Args))
+	head := make([]lang.Term, len(a.Args))
+	for i, t := range a.Args {
+		if t.IsConst() {
+			args[i] = t
+			head[i] = t
+		} else {
+			v := lang.Var(fmt.Sprintf("c%d", i))
+			args[i] = v
+			head[i] = v
+		}
+	}
+	return lang.CQ{
+		Head: lang.Atom{Pred: "fetch", Args: head},
+		Body: []lang.Atom{{Pred: a.Pred, Args: args}},
+	}
+}
+
+// evalFetchAll is the legacy whole-relation fetch path: every atom is
+// pulled with only its constant selections pushed down, fragments land in
+// a scratch instance, and the full join (re-checking every constant,
+// repeated variable and comparison) runs through an indexed local engine.
+// Kept as the differential/benchmark baseline for the streaming bind-join.
+func (e *Executor) evalFetchAll(q lang.CQ) ([]rel.Tuple, error) {
+	scratch := rel.NewInstance()
+	eng := engine.NewWithPlanCache(scratch, e.plans)
+	localNames := make([]string, len(q.Body))
+	fetched := map[string]bool{}
+	for _, bi := range e.planOrder(q) {
+		name, err := e.fetchAtom(q.Body[bi], scratch, fetched)
+		if err != nil {
+			return nil, err
+		}
+		localNames[bi] = name
 	}
 	localBody := make([]lang.Atom, len(q.Body))
 	for i, a := range q.Body {
@@ -290,7 +593,7 @@ func (e *Executor) EvalCQ(q lang.CQ) ([]rel.Tuple, error) {
 
 // planOrder orders q's body atoms with the engine planner's greedy
 // selectivity heuristic (engine.OrderBody), feeding it the serving peers'
-// cardinalities as advertised at Discover time.
+// cardinalities (advertised at Discover time, refreshed from responses).
 func (e *Executor) planOrder(q lang.CQ) []int {
 	card := make(map[string]int, len(q.Body))
 	e.mu.Lock()
@@ -299,70 +602,6 @@ func (e *Executor) planOrder(q lang.CQ) []int {
 	}
 	e.mu.Unlock()
 	return engine.OrderBody(q.Body, func(pred string) int { return card[pred] }, -1)
-}
-
-// bindKeys evaluates the partial join of the already-fetched atoms locally
-// and returns the distinct values of bindVars — the bound join keys to
-// ship to the next atom's peer. Comparisons already fully bound are
-// applied so impossible keys are never shipped.
-func (e *Executor) bindKeys(eng *engine.Engine, q lang.CQ, done []int, localNames []string, bindVars []lang.Term, boundVars map[string]bool) ([]rel.Tuple, error) {
-	body := make([]lang.Atom, 0, len(done))
-	for _, bi := range done {
-		la := q.Body[bi].Clone()
-		la.Pred = localNames[bi]
-		body = append(body, la)
-	}
-	var comps []lang.Comparison
-	for _, c := range q.Comps {
-		ground := true
-		for _, v := range c.Vars(nil) {
-			if !boundVars[v.Name] {
-				ground = false
-				break
-			}
-		}
-		if ground {
-			comps = append(comps, c)
-		}
-	}
-	head := lang.Atom{Pred: "bind.keys", Args: make([]lang.Term, len(bindVars))}
-	copy(head.Args, bindVars)
-	return eng.EvalCQ(lang.CQ{Head: head, Body: body, Comps: comps})
-}
-
-// bindFetchAtom fetches, via the bind op, the tuples of atom a matching
-// the bound keys (plus the atom's own constants) and stores them in
-// scratch under a step-unique local name it returns. The result set
-// depends on the shipped keys, so bind fetches are never shared the way
-// plain selection fetches are.
-func (e *Executor) bindFetchAtom(a lang.Atom, bindCols []int, varIdx map[string]int, keys []rel.Tuple, scratch *rel.Instance, step int) (string, error) {
-	rows := make([][]string, len(keys))
-	for i, kt := range keys {
-		row := make([]string, len(bindCols))
-		for j, pos := range bindCols {
-			row[j] = kt[varIdx[a.Args[pos].Name]]
-		}
-		rows[i] = row
-	}
-	e.mu.Lock()
-	addr := e.addr[a.Pred]
-	e.mu.Unlock()
-	name := selName(a) + "#bind" + strconv.Itoa(step)
-	var tuples []rel.Tuple
-	err := e.withClient(addr, func(c *Client) error {
-		ts, err := c.BindEval(a, bindCols, rows)
-		tuples = ts
-		return err
-	})
-	if err != nil {
-		return "", err
-	}
-	for _, t := range tuples {
-		if _, err := scratch.Add(name, t); err != nil {
-			return "", err
-		}
-	}
-	return name, nil
 }
 
 // selName returns a collision-free scratch-relation name for atom a's
@@ -392,33 +631,8 @@ func (e *Executor) fetchAtom(a lang.Atom, scratch *rel.Instance, fetched map[str
 	if fetched[localName] {
 		return localName, nil
 	}
-	e.mu.Lock()
-	addr := e.addr[a.Pred]
-	e.mu.Unlock()
-	// Remote query: head = fresh vars for every position (so the peer
-	// returns full rows), constants kept in the body atom for push-down.
-	args := make([]lang.Term, len(a.Args))
-	head := make([]lang.Term, len(a.Args))
-	for i, t := range a.Args {
-		v := lang.Var(fmt.Sprintf("c%d", i))
-		head[i] = v
-		if t.IsConst() {
-			args[i] = t
-		} else {
-			args[i] = v
-		}
-	}
-	// Positions selected by constants still need the constant in the head
-	// tuple; reuse the constant directly there.
-	for i, t := range a.Args {
-		if t.IsConst() {
-			head[i] = t
-		}
-	}
-	remote := lang.CQ{
-		Head: lang.Atom{Pred: "fetch", Args: head},
-		Body: []lang.Atom{{Pred: a.Pred, Args: args}},
-	}
+	addr := e.addrOf(a.Pred)
+	remote := selectionQuery(a)
 	var rows []rel.Tuple
 	err := e.withClient(addr, func(c *Client) error {
 		rs, err := c.Eval(remote)

@@ -19,14 +19,17 @@ const maxIdlePerAddr = 8
 type pool struct {
 	addr     string
 	counters *Counters
+	// onCards propagates response-piggybacked cardinalities from every
+	// pooled connection back to the executor's estimate table.
+	onCards func(preds []string, cards []int)
 
 	mu     sync.Mutex
 	idle   []*Client
 	closed bool
 }
 
-func newPool(addr string, counters *Counters) *pool {
-	return &pool{addr: addr, counters: counters}
+func newPool(addr string, counters *Counters, onCards func(preds []string, cards []int)) *pool {
+	return &pool{addr: addr, counters: counters, onCards: onCards}
 }
 
 // get returns a connection to the pool's address, reusing an idle one when
@@ -51,14 +54,15 @@ func (p *pool) get() (c *Client, reused bool, err error) {
 	return c, false, err
 }
 
-// dial opens a fresh connection wired to the pool's shared counters,
-// bypassing the idle list.
+// dial opens a fresh connection wired to the pool's shared counters and
+// cardinality feedback hook, bypassing the idle list.
 func (p *pool) dial() (*Client, error) {
 	c, err := Dial(p.addr)
 	if err != nil {
 		return nil, err
 	}
 	c.counters = p.counters
+	c.onCards = p.onCards
 	return c, nil
 }
 

@@ -15,17 +15,35 @@
 //   - "bind": the semi-join half of bind-join execution. The request
 //     carries one atom (constants pushed down as selections) plus a batch
 //     of bound join-key rows for the atom's BindCols positions; the server
-//     probes its indexed engine once per key (engine.ProbeByKeyBatch) and
-//     returns the distinct matching tuples instead of a full scan.
+//     probes its indexed engine once per key (engine.ProbeByKeyBatchYield)
+//     and returns the distinct matching tuples instead of a full scan.
 //
-// Cross-peer rewritings execute as bind-joins: the Executor orders atoms by
-// the engine's selectivity heuristic, fetches the first atom with its
-// constant selections pushed down, and for each later atom ships the
-// distinct join-key values bound so far ("bind" op) so the remote peer
-// returns only tuples that can participate in the join. UCQ disjuncts fan
-// out over a worker pool, multiplexed over per-address connection pools
-// (one Client is not safe for concurrent use). Both sides keep wire-level
-// counters (requests, rows, bytes) so the shipping savings are measurable.
+// Responses STREAM: a row-bearing op answers with bounded chunks
+// (wire.ChunkMaxRows / wire.ChunkMaxBytes) followed by a final frame, so
+// neither side ever frames a whole answer — results larger than any fixed
+// frame ceiling flow through in O(chunk) memory. The server produces rows
+// through the engine's enumeration hooks (engine.StreamCQ,
+// engine.ProbeByKeyBatchYield) rather than materializing answers, and the
+// final frame of every data response piggybacks the current cardinalities
+// of the relations touched, which the executor folds back into its
+// join-order estimates. An oversized or garbled *request* frame is
+// answered with an in-band error (the stream stays framed), never a silent
+// connection drop; genuinely broken streams are counted and reported
+// through the optional Server.Logf diagnostic hook.
+//
+// Cross-peer rewritings execute as a streaming, adaptive, pipelined
+// bind-join: the Executor orders atoms by the engine's selectivity
+// heuristic and maintains the partial join incrementally, streaming each
+// atom's remote rows directly into a hash join against the partial result.
+// Per atom it ships the distinct join keys bound so far ("bind" op) in
+// pipelined batches — batch i+1 is written while batch i's rows are still
+// streaming back — unless the peer's advertised cardinality says the whole
+// (selection-pushed) relation is smaller than the key set, in which case
+// it fetches the relation instead. UCQ disjuncts fan out over a worker
+// pool, multiplexed over per-address connection pools (one Client is not
+// safe for concurrent use). Both sides keep wire-level counters (requests,
+// rows, bytes, bind batches and how many were pipelined) so the shipping
+// and stall savings are measurable.
 //
 // The paper treats query execution as out of scope ("recent techniques for
 // adaptive query processing are well suited for our context"); this package
@@ -37,11 +55,14 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/lang"
@@ -49,10 +70,38 @@ import (
 	"repro/internal/wire"
 )
 
+// defaultMaxRequestBytes caps one request frame. Legitimate requests are
+// small — queries, scans, and byte-bounded bind batches — so anything near
+// this is a bug or abuse, and it must stay far below wire.DefaultMaxFrame
+// (the client-side response sanity cap) to bound per-connection buffering.
+const defaultMaxRequestBytes = 64 << 20
+
+// defaultWriteTimeout bounds one response-frame write. Responses stream
+// under the server's read lock, so a client that stops reading would
+// otherwise hold the lock (and, once a writer queues, every other
+// connection) indefinitely; the deadline converts that into a dropped
+// connection. A legitimate slow reader only has to drain one bounded
+// chunk per timeout.
+const defaultWriteTimeout = 60 * time.Second
+
 // Server serves one peer's stored relations. Eval requests run through a
 // per-server indexed engine whose indexes and compiled plans persist across
 // requests (and catch up incrementally with AddFact).
 type Server struct {
+	// Logf, when non-nil, receives server-side diagnostics for conditions
+	// that cannot be answered in-band (broken request streams, read
+	// failures). Set it before Start.
+	Logf func(format string, args ...any)
+	// MaxRequestBytes caps one request frame (0 = defaultMaxRequestBytes).
+	// An over-limit frame is consumed through its newline and answered
+	// with an in-band error response — the connection survives.
+	MaxRequestBytes int
+	// WriteTimeout bounds each response-frame write (0 =
+	// defaultWriteTimeout, negative = no deadline). A client that stops
+	// reading is disconnected after one timeout instead of pinning the
+	// server's read lock.
+	WriteTimeout time.Duration
+
 	mu   sync.RWMutex
 	data *rel.Instance
 	eng  *engine.Engine
@@ -65,16 +114,22 @@ type Server struct {
 	rowsServed atomic.Uint64
 	bytesSent  atomic.Uint64
 	bytesRecv  atomic.Uint64
+	readErrors atomic.Uint64
 }
 
 // ServerStats is a snapshot of a server's cumulative wire-level counters.
 type ServerStats struct {
 	// Requests counts protocol requests handled (including errors).
 	Requests uint64
-	// RowsServed counts tuples returned across all responses.
+	// RowsServed counts tuples returned across all response frames.
 	RowsServed uint64
 	// BytesSent and BytesRecv count response and request bytes on the wire.
 	BytesSent, BytesRecv uint64
+	// ReadErrors counts request frames that could not be read cleanly
+	// (over-limit or broken mid-line). Over-limit frames also get an
+	// in-band error response; the rest tear down the connection with a
+	// Logf diagnostic instead of dying silently.
+	ReadErrors uint64
 }
 
 // Stats returns a snapshot of the server's wire-level counters.
@@ -84,6 +139,7 @@ func (s *Server) Stats() ServerStats {
 		RowsServed: s.rowsServed.Load(),
 		BytesSent:  s.bytesSent.Load(),
 		BytesRecv:  s.bytesRecv.Load(),
+		ReadErrors: s.readErrors.Load(),
 	}
 }
 
@@ -96,7 +152,9 @@ func NewServer(data *rel.Instance) *Server {
 	return &Server{data: data, eng: engine.New(data)}
 }
 
-// AddFact inserts a tuple into a served relation.
+// AddFact inserts a tuple into a served relation. It blocks while a
+// response stream is being written (responses are produced under the read
+// lock so one request sees one consistent instance).
 func (s *Server) AddFact(pred string, t rel.Tuple) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -148,6 +206,12 @@ func (s *Server) acceptLoop(ctx context.Context, lis net.Listener) {
 	}
 }
 
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
 // serverConnWriter counts response bytes as they hit the socket.
 type serverConnWriter struct {
 	s    *Server
@@ -161,38 +225,127 @@ func (w serverConnWriter) Write(p []byte) (int, error) {
 }
 
 func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
-	// Close the connection when the server shuts down so the Scan below
-	// unblocks and Close's WaitGroup drains even with idle clients.
+	// Close the connection when the server shuts down so the reads below
+	// unblock and Close's WaitGroup drains even with idle clients.
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	enc := json.NewEncoder(serverConnWriter{s: s, conn: conn})
-	for sc.Scan() {
+	br := bufio.NewReaderSize(conn, 64*1024)
+	bw := bufio.NewWriterSize(serverConnWriter{s: s, conn: conn}, 64*1024)
+	enc := json.NewEncoder(bw)
+	writeTimeout := s.WriteTimeout
+	if writeTimeout == 0 {
+		writeTimeout = defaultWriteTimeout
+	}
+	// send writes one response frame and flushes it to the socket, so the
+	// client makes progress chunk by chunk. Each frame gets its own write
+	// deadline: response streams run under the server's read lock, and a
+	// client that stops draining must cost a dropped connection, not a
+	// wedged lock.
+	send := func(resp wire.Response) error {
+		if writeTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+		}
+		s.rowsServed.Add(uint64(len(resp.Rows)))
+		if err := enc.Encode(resp); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	maxFrame := s.MaxRequestBytes
+	if maxFrame <= 0 {
+		maxFrame = defaultMaxRequestBytes
+	}
+	for {
 		select {
 		case <-ctx.Done():
 			return
 		default:
 		}
-		s.requests.Add(1)
-		s.bytesRecv.Add(uint64(len(sc.Bytes()) + 1))
-		var req wire.Request
-		resp := wire.Response{}
-		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
-			resp.Error = fmt.Sprintf("bad request: %v", err)
-		} else {
-			resp = s.handle(req)
+		frame, err := wire.ReadFrame(br, maxFrame)
+		switch {
+		case err == nil:
+		case errors.Is(err, wire.ErrFrameTooLarge):
+			// The oversized line was consumed through its newline, so the
+			// stream is still framed: answer in-band instead of dropping
+			// the connection (the old fixed-buffer scanner died here with
+			// no diagnostic on either side).
+			s.requests.Add(1)
+			s.readErrors.Add(1)
+			s.logf("netpeer: request frame over %d bytes from %s", maxFrame, conn.RemoteAddr())
+			if send(wire.Response{Error: fmt.Sprintf("request frame exceeds %d bytes", maxFrame)}) != nil {
+				return
+			}
+			continue
+		case errors.Is(err, io.EOF):
+			return // clean disconnect at a frame boundary
+		default:
+			s.readErrors.Add(1)
+			s.logf("netpeer: reading request from %s: %v", conn.RemoteAddr(), err)
+			return
 		}
-		s.rowsServed.Add(uint64(len(resp.Rows)))
-		if err := enc.Encode(resp); err != nil {
+		s.requests.Add(1)
+		s.bytesRecv.Add(uint64(len(frame) + 1))
+		var req wire.Request
+		if err := json.Unmarshal(frame, &req); err != nil {
+			if send(wire.Response{Error: fmt.Sprintf("bad request: %v", err)}) != nil {
+				return
+			}
+			continue
+		}
+		if s.handleStream(req, send) != nil {
 			return
 		}
 	}
 }
 
-func (s *Server) handle(req wire.Request) wire.Response {
+// chunker accumulates streamed rows and flushes them as bounded non-final
+// frames, keeping per-response memory O(chunk) regardless of result size.
+type chunker struct {
+	send    func(wire.Response) error
+	rows    [][]string
+	bytes   int
+	sendErr error // transport failure; terminal for the connection
+}
+
+// row buffers one tuple, flushing a non-final frame at the chunk bounds.
+func (c *chunker) row(t rel.Tuple) error {
+	c.rows = append(c.rows, t)
+	for _, v := range t {
+		c.bytes += len(v)
+	}
+	if len(c.rows) >= wire.ChunkMaxRows || c.bytes >= wire.ChunkMaxBytes {
+		if err := c.send(wire.Response{Rows: c.rows, More: true}); err != nil {
+			c.sendErr = err
+			return err
+		}
+		c.rows, c.bytes = nil, 0
+	}
+	return nil
+}
+
+// finish emits the final frame: any buffered rows plus the piggybacked
+// cardinalities of the relations the request touched.
+func (c *chunker) finish(preds []string, cards []int) error {
+	return c.send(wire.Response{Rows: c.rows, Preds: preds, Cards: cards})
+}
+
+// handleStream answers one request as a stream of frames through send. It
+// returns the first transport error, or nil once the response — success or
+// in-band error — is fully written. Row production runs under the read
+// lock so one request observes one consistent instance.
+func (s *Server) handleStream(req wire.Request, send func(wire.Response) error) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	// cardsOf assembles the piggyback payload for the touched relations.
+	cardsOf := func(preds ...string) ([]string, []int) {
+		cards := make([]int, len(preds))
+		for i, p := range preds {
+			if r := s.data.Relation(p); r != nil {
+				cards[i] = r.Len()
+			}
+		}
+		return preds, cards
+	}
 	switch req.Op {
 	case "catalog":
 		preds := s.data.Relations()
@@ -200,53 +353,81 @@ func (s *Server) handle(req wire.Request) wire.Response {
 		for i, p := range preds {
 			cards[i] = s.data.Relation(p).Len()
 		}
-		return wire.Response{Preds: preds, Cards: cards}
+		return send(wire.Response{Preds: preds, Cards: cards})
 	case "scan":
-		r := s.data.Relation(req.Pred)
-		if r == nil {
-			return wire.Response{Rows: [][]string{}}
+		c := &chunker{send: send}
+		if r := s.data.Relation(req.Pred); r != nil {
+			for _, t := range r.Tuples() {
+				if err := c.row(t); err != nil {
+					return c.sendErr
+				}
+			}
 		}
-		return wire.Response{Rows: wire.TuplesToRows(r.Tuples())}
+		preds, cards := cardsOf(req.Pred)
+		return c.finish(preds, cards)
 	case "eval":
 		if req.Query == nil {
-			return wire.Response{Error: "eval: missing query"}
+			return send(wire.Response{Error: "eval: missing query"})
 		}
 		q, err := req.Query.ToCQ()
 		if err != nil {
-			return wire.Response{Error: err.Error()}
+			return send(wire.Response{Error: err.Error()})
 		}
-		rows, err := s.eng.EvalCQ(q)
-		if err != nil {
-			return wire.Response{Error: err.Error()}
+		c := &chunker{send: send}
+		if err := s.eng.StreamCQ(q, c.row); err != nil {
+			if c.sendErr != nil {
+				return c.sendErr
+			}
+			// Evaluation failed mid-stream: the error frame is final and
+			// supersedes any rows already shipped.
+			return send(wire.Response{Error: err.Error()})
 		}
-		return wire.Response{Rows: wire.TuplesToRows(rows)}
+		seen := map[string]bool{}
+		var preds []string
+		for _, a := range q.Body {
+			if !seen[a.Pred] {
+				seen[a.Pred] = true
+				preds = append(preds, a.Pred)
+			}
+		}
+		preds, cards := cardsOf(preds...)
+		return c.finish(preds, cards)
 	case "bind":
-		rows, err := s.handleBind(req)
+		pred, cols, keys, err := bindProbeArgs(req)
 		if err != nil {
-			return wire.Response{Error: err.Error()}
+			return send(wire.Response{Error: err.Error()})
 		}
-		return wire.Response{Rows: wire.TuplesToRows(rows)}
+		c := &chunker{send: send}
+		if err := s.eng.ProbeByKeyBatchYield(pred, cols, keys, c.row); err != nil {
+			if c.sendErr != nil {
+				return c.sendErr
+			}
+			return send(wire.Response{Error: err.Error()})
+		}
+		preds, cards := cardsOf(pred)
+		return c.finish(preds, cards)
 	default:
-		return wire.Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+		return send(wire.Response{Error: fmt.Sprintf("unknown op %q", req.Op)})
 	}
 }
 
-// handleBind answers one bound-key batch: the distinct tuples of the atom's
-// relation matching the atom's constants plus, at the BindCols positions,
-// any one of the shipped key rows. Probe columns are the constant positions
-// merged with the bind positions, so the whole batch runs off one hash
-// index. The result may be a superset of what the join needs (repeated
-// variables inside the atom are re-checked by the caller's local join).
-func (s *Server) handleBind(req wire.Request) ([]rel.Tuple, error) {
+// bindProbeArgs validates one bind request and lowers it to a probe: the
+// distinct tuples of the atom's relation matching the atom's constants
+// plus, at the BindCols positions, any one of the shipped key rows. Probe
+// columns are the constant positions merged with the bind positions, so
+// the whole batch runs off one hash index. The result may be a superset of
+// what the join needs (repeated variables inside the atom are re-checked
+// by the caller's local join).
+func bindProbeArgs(req wire.Request) (pred string, cols []int, keys [][]string, err error) {
 	if req.Atom == nil {
-		return nil, fmt.Errorf("bind: missing atom")
+		return "", nil, nil, fmt.Errorf("bind: missing atom")
 	}
 	a, err := req.Atom.ToAtom()
 	if err != nil {
-		return nil, err
+		return "", nil, nil, err
 	}
 	if len(req.BindCols) == 0 {
-		return nil, fmt.Errorf("bind: no bound columns for %s", a.Pred)
+		return "", nil, nil, fmt.Errorf("bind: no bound columns for %s", a.Pred)
 	}
 	// keyCol pins one probe column to either the atom constant at that
 	// position or a per-row bind value.
@@ -263,27 +444,27 @@ func (s *Server) handleBind(req wire.Request) ([]rel.Tuple, error) {
 	}
 	for i, c := range req.BindCols {
 		if c < 0 || c >= a.Arity() {
-			return nil, fmt.Errorf("bind: column %d out of range for %s/%d", c, a.Pred, a.Arity())
+			return "", nil, nil, fmt.Errorf("bind: column %d out of range for %s/%d", c, a.Pred, a.Arity())
 		}
 		if a.Args[c].IsConst() {
-			return nil, fmt.Errorf("bind: column %d of %s is a pushed constant", c, a.Pred)
+			return "", nil, nil, fmt.Errorf("bind: column %d of %s is a pushed constant", c, a.Pred)
 		}
 		kcs = append(kcs, keyCol{col: c, bindIdx: i})
 	}
 	sort.Slice(kcs, func(i, j int) bool { return kcs[i].col < kcs[j].col })
 	for i := 1; i < len(kcs); i++ {
 		if kcs[i].col == kcs[i-1].col {
-			return nil, fmt.Errorf("bind: duplicate column %d for %s", kcs[i].col, a.Pred)
+			return "", nil, nil, fmt.Errorf("bind: duplicate column %d for %s", kcs[i].col, a.Pred)
 		}
 	}
-	cols := make([]int, len(kcs))
+	cols = make([]int, len(kcs))
 	for i, kc := range kcs {
 		cols[i] = kc.col
 	}
-	keys := make([][]string, 0, len(req.BindRows))
+	keys = make([][]string, 0, len(req.BindRows))
 	for _, row := range req.BindRows {
 		if len(row) != len(req.BindCols) {
-			return nil, fmt.Errorf("bind: row has %d values, want %d", len(row), len(req.BindCols))
+			return "", nil, nil, fmt.Errorf("bind: row has %d values, want %d", len(row), len(req.BindCols))
 		}
 		key := make([]string, len(kcs))
 		for j, kc := range kcs {
@@ -295,17 +476,20 @@ func (s *Server) handleBind(req wire.Request) ([]rel.Tuple, error) {
 		}
 		keys = append(keys, key)
 	}
-	return s.eng.ProbeByKeyBatch(a.Pred, cols, keys)
+	return a.Pred, cols, keys, nil
 }
 
 // Counters aggregates wire-level client traffic, typically shared by every
 // pooled connection of one Executor. All fields are updated atomically;
 // safe for concurrent use.
 type Counters struct {
-	requests    atomic.Uint64
-	rowsFetched atomic.Uint64
-	bytesSent   atomic.Uint64
-	bytesRecv   atomic.Uint64
+	requests      atomic.Uint64
+	rowsFetched   atomic.Uint64
+	bytesSent     atomic.Uint64
+	bytesRecv     atomic.Uint64
+	maxFrame      atomic.Uint64
+	bindBatches   atomic.Uint64
+	bindPipelined atomic.Uint64
 }
 
 // WireStats is a snapshot of client-side wire counters.
@@ -319,15 +503,38 @@ type WireStats struct {
 	RowsFetched uint64
 	// BytesSent and BytesRecv count request and response bytes on the wire.
 	BytesSent, BytesRecv uint64
+	// MaxFrameBytes is the largest single response frame observed — with
+	// chunked streaming it stays near wire.ChunkMaxBytes no matter how
+	// large a result is.
+	MaxFrameBytes uint64
+	// BindBatches counts bound-key batches shipped; BindBatchesPipelined
+	// counts those written while an earlier batch's response was still
+	// streaming back. Their difference is the number of sequential
+	// round-trip stalls paid on the bind path.
+	BindBatches, BindBatchesPipelined uint64
 }
 
 // Snapshot returns the current counter values.
 func (ct *Counters) Snapshot() WireStats {
 	return WireStats{
-		Requests:    ct.requests.Load(),
-		RowsFetched: ct.rowsFetched.Load(),
-		BytesSent:   ct.bytesSent.Load(),
-		BytesRecv:   ct.bytesRecv.Load(),
+		Requests:             ct.requests.Load(),
+		RowsFetched:          ct.rowsFetched.Load(),
+		BytesSent:            ct.bytesSent.Load(),
+		BytesRecv:            ct.bytesRecv.Load(),
+		MaxFrameBytes:        ct.maxFrame.Load(),
+		BindBatches:          ct.bindBatches.Load(),
+		BindBatchesPipelined: ct.bindPipelined.Load(),
+	}
+}
+
+// noteFrame records one received frame's size.
+func (ct *Counters) noteFrame(n int) {
+	ct.bytesRecv.Add(uint64(n) + 1)
+	for {
+		cur := ct.maxFrame.Load()
+		if uint64(n) <= cur || ct.maxFrame.CompareAndSwap(cur, uint64(n)) {
+			return
+		}
 	}
 }
 
@@ -336,15 +543,23 @@ func (ct *Counters) Snapshot() WireStats {
 // per-address pool of Clients, borrowing one per in-flight request.
 type Client struct {
 	conn net.Conn
-	sc   *bufio.Scanner
+	br   *bufio.Reader
 	enc  *json.Encoder
+	// maxFrame caps one received response frame (wire.DefaultMaxFrame);
+	// chunked streaming keeps real frames around wire.ChunkMaxBytes.
+	maxFrame int
 	// counters, when non-nil, aggregates this client's traffic (set by the
 	// executor's pool so all pooled connections share one Counters).
 	counters *Counters
+	// onCards, when non-nil, receives the cardinalities piggybacked on
+	// final response frames (set by the executor's pool so estimates
+	// refresh continuously).
+	onCards func(preds []string, cards []int)
 	// broken is set when a transport-level failure leaves the stream
-	// desynced (request written but response unread, or a partial/garbled
-	// frame consumed): reusing the connection could pair a later request
-	// with a stale response, so the pool drops broken clients.
+	// desynced (request written but response unread, a partial/garbled
+	// frame consumed, or a response stream abandoned mid-flight): reusing
+	// the connection could pair a later request with a stale frame, so the
+	// pool drops broken clients.
 	broken bool
 }
 
@@ -365,9 +580,7 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	c := &Client{conn: conn, sc: sc}
+	c := &Client{conn: conn, br: bufio.NewReaderSize(conn, 64*1024), maxFrame: wire.DefaultMaxFrame}
 	c.enc = json.NewEncoder(clientConnWriter{c: c})
 	return c, nil
 }
@@ -379,7 +592,59 @@ func (c *Client) Close() error { return c.conn.Close() }
 // connection; a broken client must not be reused.
 func (c *Client) Broken() bool { return c.broken }
 
-func (c *Client) roundTrip(req wire.Request) (wire.Response, error) {
+// readStream consumes one response stream: zero or more non-final frames
+// and a final one. onRows (when non-nil) receives each frame's rows as
+// they arrive; an onRows error abandons the stream (unread frames desync
+// the connection, so it is closed and marked broken). A remote error frame
+// is terminal but well-framed: the connection stays usable.
+func (c *Client) readStream(onRows func([][]string) error) (wire.Response, error) {
+	for {
+		frame, err := wire.ReadFrame(c.br, c.maxFrame)
+		if err != nil {
+			// Includes ErrFrameTooLarge: the line was consumed, but the
+			// logical response stream is now missing a frame (possibly the
+			// final marker), so the connection cannot be trusted.
+			c.broken = true
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return wire.Response{}, fmt.Errorf("netpeer: connection closed")
+			}
+			return wire.Response{}, err
+		}
+		if c.counters != nil {
+			c.counters.noteFrame(len(frame))
+		}
+		var resp wire.Response
+		if err := json.Unmarshal(frame, &resp); err != nil {
+			c.broken = true
+			return wire.Response{}, err
+		}
+		if resp.Error != "" {
+			// A remote error frame is final and well-framed: the stream
+			// stays in sync and the connection remains usable.
+			return wire.Response{}, fmt.Errorf("netpeer: remote: %s", resp.Error)
+		}
+		if c.counters != nil {
+			c.counters.rowsFetched.Add(uint64(len(resp.Rows)))
+		}
+		if onRows != nil && len(resp.Rows) > 0 {
+			if err := onRows(resp.Rows); err != nil {
+				c.broken = true
+				c.conn.Close()
+				return wire.Response{}, err
+			}
+		}
+		if !resp.More {
+			if c.onCards != nil && len(resp.Preds) > 0 {
+				c.onCards(resp.Preds, resp.Cards)
+			}
+			return resp, nil
+		}
+	}
+}
+
+// roundTripStream writes one request and consumes its response stream,
+// handing each frame's rows to onRows.
+func (c *Client) roundTripStream(req wire.Request, onRows func([][]string) error) (wire.Response, error) {
 	if c.counters != nil {
 		c.counters.requests.Add(1)
 	}
@@ -387,30 +652,34 @@ func (c *Client) roundTrip(req wire.Request) (wire.Response, error) {
 		c.broken = true
 		return wire.Response{}, err
 	}
-	if !c.sc.Scan() {
-		c.broken = true
-		if err := c.sc.Err(); err != nil {
-			return wire.Response{}, err
-		}
-		return wire.Response{}, fmt.Errorf("netpeer: connection closed")
-	}
-	if c.counters != nil {
-		c.counters.bytesRecv.Add(uint64(len(c.sc.Bytes()) + 1))
-	}
-	var resp wire.Response
-	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
-		c.broken = true
+	return c.readStream(onRows)
+}
+
+// roundTrip is roundTripStream materialized: the returned response carries
+// every row of the stream.
+func (c *Client) roundTrip(req wire.Request) (wire.Response, error) {
+	var all [][]string
+	final, err := c.roundTripStream(req, func(rows [][]string) error {
+		all = append(all, rows...)
+		return nil
+	})
+	if err != nil {
 		return wire.Response{}, err
 	}
-	if resp.Error != "" {
-		// A remote error is a well-framed response: the stream stays in
-		// sync and the connection remains usable.
-		return wire.Response{}, fmt.Errorf("netpeer: remote: %s", resp.Error)
+	final.Rows = all
+	return final, nil
+}
+
+// rowsToYield adapts a per-tuple yield to readStream's per-frame callback.
+func rowsToYield(yield func(rel.Tuple) error) func([][]string) error {
+	return func(rows [][]string) error {
+		for _, r := range rows {
+			if err := yield(rel.Tuple(r)); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
-	if c.counters != nil {
-		c.counters.rowsFetched.Add(uint64(len(resp.Rows)))
-	}
-	return resp, nil
 }
 
 // Catalog lists the relations the peer serves.
@@ -450,41 +719,172 @@ func (c *Client) Scan(pred string) ([]rel.Tuple, error) {
 	return wire.RowsToTuples(resp.Rows), nil
 }
 
-// Eval evaluates a conjunctive query remotely; every body atom must name a
-// relation the peer serves.
+// EvalStream evaluates a conjunctive query remotely — every body atom must
+// name a relation the peer serves — invoking yield once per distinct head
+// tuple as chunks arrive, in stream (not sorted) order.
+func (c *Client) EvalStream(q lang.CQ, yield func(rel.Tuple) error) error {
+	wq := wire.FromCQ(q)
+	_, err := c.roundTripStream(wire.Request{Op: "eval", Query: &wq}, rowsToYield(yield))
+	return err
+}
+
+// Eval is EvalStream materialized and sorted (the head tuples, distinct).
 func (c *Client) Eval(q lang.CQ) ([]rel.Tuple, error) {
 	wq := wire.FromCQ(q)
 	resp, err := c.roundTrip(wire.Request{Op: "eval", Query: &wq})
 	if err != nil {
 		return nil, err
 	}
-	return wire.RowsToTuples(resp.Rows), nil
+	return rel.DistinctSorted(wire.RowsToTuples(resp.Rows)), nil
 }
 
-// bindBatchSize caps the bound-key rows shipped per bind request frame so a
-// huge bound side never produces an unbounded message.
-const bindBatchSize = 1024
+// bindBatchSize and bindBatchMaxBytes cap the bound-key rows shipped per
+// bind request frame — by count and by total value bytes — so a huge
+// bound side (or individually huge key values) never produces a request
+// frame near the server's limit.
+const (
+	bindBatchSize     = 1024
+	bindBatchMaxBytes = 4 << 20
+)
 
-// BindEval fetches the distinct tuples of atom a that match the atom's
-// constants and, at the bindCols positions, at least one of the bound-key
-// rows. Rows are shipped in batches of bindBatchSize; the concatenated
-// result may contain duplicates across batches (callers deduplicate via
-// set-semantics insertion).
-func (c *Client) BindEval(a lang.Atom, bindCols []int, rows [][]string) ([]rel.Tuple, error) {
-	wa := wire.FromAtom(a)
-	var out []rel.Tuple
-	for start := 0; start < len(rows); start += bindBatchSize {
-		end := min(start+bindBatchSize, len(rows))
-		resp, err := c.roundTrip(wire.Request{
-			Op:       "bind",
-			Atom:     &wa,
-			BindCols: bindCols,
-			BindRows: rows[start:end],
-		})
-		if err != nil {
-			return nil, err
+// bindBatchStarts cuts rows into request batches: a new batch starts at
+// bindBatchSize rows or once the accumulated key bytes pass
+// bindBatchMaxBytes (a single oversized row still ships alone).
+func bindBatchStarts(rows [][]string) []int {
+	starts := []int{0}
+	rowsIn, bytesIn := 0, 0
+	for i, row := range rows {
+		sz := 0
+		for _, v := range row {
+			sz += len(v)
 		}
-		out = append(out, wire.RowsToTuples(resp.Rows)...)
+		if rowsIn > 0 && (rowsIn >= bindBatchSize || bytesIn+sz > bindBatchMaxBytes) {
+			starts = append(starts, i)
+			rowsIn, bytesIn = 0, 0
+		}
+		rowsIn++
+		bytesIn += sz
+	}
+	return starts
+}
+
+// BindEvalStream fetches the tuples of atom a that match the atom's
+// constants and, at the bindCols positions, at least one of the bound-key
+// rows, invoking yield as chunks arrive. Keys ship in row- and
+// byte-bounded batches with up to depth requests in flight: batch i+1 is
+// written while batch i's rows are still streaming back, so consecutive
+// batches pay no sequential round-trip stall (depth 1 degrades to the
+// sequential protocol). The stream may contain duplicates across batches —
+// callers deduplicate.
+func (c *Client) BindEvalStream(a lang.Atom, bindCols []int, rows [][]string, depth int, yield func(rel.Tuple) error) error {
+	if depth < 1 {
+		depth = 1
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	wa := wire.FromAtom(a)
+	starts := bindBatchStarts(rows)
+	nb := len(starts)
+	var responsesDone, batchesWritten atomic.Uint64
+	sem := make(chan struct{}, depth)
+	abort := make(chan struct{})
+	writeErr := make(chan error, 1)
+	go func() {
+		writeErr <- func() error {
+			for i := 0; i < nb; i++ {
+				select {
+				case sem <- struct{}{}:
+				case <-abort:
+					return nil
+				}
+				end := len(rows)
+				if i+1 < nb {
+					end = starts[i+1]
+				}
+				if c.counters != nil {
+					c.counters.requests.Add(1)
+					c.counters.bindBatches.Add(1)
+					if uint64(i) > responsesDone.Load() {
+						c.counters.bindPipelined.Add(1)
+					}
+				}
+				if err := c.enc.Encode(wire.Request{
+					Op:       "bind",
+					Atom:     &wa,
+					BindCols: bindCols,
+					BindRows: rows[starts[i]:end],
+				}); err != nil {
+					return err
+				}
+				batchesWritten.Add(1)
+			}
+			return nil
+		}()
+	}()
+	var readErr error
+	read := 0
+	for ; read < nb; read++ {
+		_, err := c.readStream(rowsToYield(yield))
+		responsesDone.Add(1)
+		select {
+		case <-sem:
+		default:
+		}
+		if err != nil {
+			readErr = err
+			break
+		}
+	}
+	if readErr == nil {
+		werr := <-writeErr
+		if werr != nil {
+			c.broken = true
+			return werr
+		}
+		return nil
+	}
+	if !c.broken {
+		// The error frame was well-framed. If the writer has already
+		// finished cleanly and the errored response was the last one
+		// outstanding, the stream is in sync and the connection stays
+		// usable. The check must be non-blocking: joining a writer that is
+		// mid-write would deadlock (the server stops reading requests
+		// while we stop reading its responses).
+		select {
+		case werr := <-writeErr:
+			if werr == nil && int(batchesWritten.Load()) == read+1 {
+				return readErr
+			}
+			// Writer failed, or later batches have responses in flight
+			// that will never be read: the stream is desynced.
+			c.broken = true
+			c.conn.Close()
+			close(abort)
+			return readErr
+		default:
+		}
+	}
+	// Transport failure, or the writer is still running: kill the
+	// connection first — that unblocks a writer stuck in a socket write —
+	// then stop and join it.
+	c.broken = true
+	c.conn.Close()
+	close(abort)
+	<-writeErr
+	return readErr
+}
+
+// BindEval is BindEvalStream materialized, with sequential (depth-1)
+// batch shipping.
+func (c *Client) BindEval(a lang.Atom, bindCols []int, rows [][]string) ([]rel.Tuple, error) {
+	var out []rel.Tuple
+	err := c.BindEvalStream(a, bindCols, rows, 1, func(t rel.Tuple) error {
+		out = append(out, t)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

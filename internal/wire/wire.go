@@ -2,8 +2,9 @@
 // serializable forms of terms, atoms, conjunctive queries and tuples, plus
 // the request/response envelopes of the peer protocol.
 //
-// The protocol is deliberately small: newline-delimited JSON over TCP, one
-// request per line, one response per line. Four request kinds:
+// The protocol is newline-delimited JSON over TCP: one request per line,
+// answered by a *stream* of one or more response frames. Four request
+// kinds:
 //
 //	{"op":"eval", "query":{…}}        evaluate a CQ over this peer's stored
 //	                                  relations, returning the head tuples
@@ -16,14 +17,31 @@
 //	                                  bindCols positions, any one of the
 //	                                  shipped bindRows key batches
 //
+// Responses are chunked: a row-bearing op (eval, scan, bind) answers with
+// zero or more non-final frames {"rows":[…],"more":true} — each bounded in
+// rows and bytes, so neither side ever frames an answer-sized message —
+// followed by exactly one final frame (no "more") that carries any
+// trailing rows plus, piggybacked, the current cardinalities of the
+// relations the request touched ("preds"/"cards", which the querying
+// executor folds into its join-order estimates). An error frame
+// ({"error":…}) is always final and may arrive mid-stream, in which case
+// the rows already received must be discarded. Single-frame ops (catalog,
+// errors) are just a stream of length one.
+//
 // The bind op is the semi-join half of cross-peer bind-join execution: the
 // querying peer ships the distinct join-key values it has bound so far
 // (in batches) instead of pulling the whole selection-pushed relation, and
-// the serving peer answers each batch from its hash indexes.
+// the serving peer answers each batch from its hash indexes. Batches
+// pipeline: a client may write bind request i+1 while the frames of
+// request i are still streaming back; the server answers strictly in
+// request order, so frames never interleave across requests.
 package wire
 
 import (
+	"bufio"
+	"errors"
 	"fmt"
+	"io"
 
 	"repro/internal/lang"
 	"repro/internal/rel"
@@ -188,18 +206,91 @@ type Request struct {
 	BindRows [][]string `json:"bindRows,omitempty"`
 }
 
-// Response is one protocol response.
+// Response is one frame of a protocol response stream. Row-bearing ops
+// answer with zero or more non-final frames (More set) followed by one
+// final frame; every other op answers with a single final frame.
 type Response struct {
-	// Error is non-empty on failure; other fields are then unset.
+	// Error is non-empty on failure; other fields are then unset. An error
+	// frame is always final and may arrive mid-stream, superseding any rows
+	// already received for the request.
 	Error string `json:"error,omitempty"`
-	// Rows carries eval/scan/bind results.
+	// Rows carries one bounded chunk of eval/scan/bind results.
 	Rows [][]string `json:"rows,omitempty"`
-	// Preds carries the catalog listing.
+	// More marks a non-final frame: further frames for the same request
+	// follow on the stream.
+	More bool `json:"more,omitempty"`
+	// Preds carries the catalog listing and, on the final frame of eval/
+	// scan/bind responses, the names of the relations the request touched.
 	Preds []string `json:"preds,omitempty"`
-	// Cards carries the catalog cardinalities, parallel to Preds. The
-	// executor's join-order heuristic consumes them as estimates; they may
-	// go stale without affecting correctness.
+	// Cards carries cardinalities parallel to Preds. The executor's
+	// join-order heuristic consumes them as estimates — refreshed on every
+	// response, they may still go stale without affecting correctness.
 	Cards []int `json:"cards,omitempty"`
+}
+
+// ErrFrameTooLarge is returned by ReadFrame when one line exceeds the
+// caller's limit. The oversized line has been consumed through its
+// newline, so the stream is still framed and usable.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// DefaultMaxFrame is the sanity ceiling ReadFrame callers use by default.
+// It bounds a single *line*, not a result: chunked responses keep normal
+// frames near ChunkMaxBytes, so only a pathological or hostile peer ever
+// approaches it.
+const DefaultMaxFrame = 1 << 30
+
+// ChunkMaxRows and ChunkMaxBytes bound one response chunk: a frame is
+// flushed once it holds ChunkMaxRows rows or its rows total at least
+// ChunkMaxBytes of values. Both sides therefore buffer O(chunk), never
+// O(result).
+const (
+	ChunkMaxRows  = 1024
+	ChunkMaxBytes = 1 << 20
+)
+
+// ReadFrame reads one newline-terminated frame from br, without the
+// newline. A line longer than max is consumed through its terminating
+// newline and reported as ErrFrameTooLarge — the stream remains framed, so
+// the caller can answer with an in-band error instead of dropping the
+// connection. io.EOF is returned only at a clean frame boundary; a partial
+// trailing line is io.ErrUnexpectedEOF.
+func ReadFrame(br *bufio.Reader, max int) ([]byte, error) {
+	var buf []byte
+	for {
+		chunk, err := br.ReadSlice('\n')
+		if len(chunk) > 0 && (err == nil || errors.Is(err, bufio.ErrBufferFull)) {
+			if len(buf)+len(chunk) > max {
+				// Keep consuming to the newline so framing survives.
+				for err == nil || errors.Is(err, bufio.ErrBufferFull) {
+					if n := len(chunk); n > 0 && chunk[n-1] == '\n' {
+						return nil, ErrFrameTooLarge
+					}
+					chunk, err = br.ReadSlice('\n')
+				}
+				if errors.Is(err, io.EOF) {
+					return nil, io.ErrUnexpectedEOF
+				}
+				return nil, err
+			}
+			buf = append(buf, chunk...)
+			if buf[len(buf)-1] == '\n' {
+				return buf[:len(buf)-1], nil
+			}
+			continue
+		}
+		if errors.Is(err, io.EOF) {
+			if len(buf) > 0 || len(chunk) > 0 {
+				return nil, io.ErrUnexpectedEOF
+			}
+			return nil, io.EOF
+		}
+		if err == nil {
+			// ReadSlice returned no bytes and no error; never happens, but
+			// avoid spinning.
+			continue
+		}
+		return nil, err
+	}
 }
 
 // RowsToTuples converts response rows.

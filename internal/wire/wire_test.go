@@ -1,8 +1,13 @@
 package wire
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
+	"io"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -115,6 +120,76 @@ func TestCatalogCardsRoundTripJSON(t *testing.T) {
 	}
 	if len(back.Preds) != 2 || len(back.Cards) != 2 || back.Cards[0] != 10 || back.Cards[1] != 3 {
 		t.Fatalf("round trip: %+v", back)
+	}
+}
+
+// A chunked response stream — non-final frames with More set, a final
+// frame with piggybacked cardinalities — survives the JSON round trip.
+func TestChunkedResponseRoundTripJSON(t *testing.T) {
+	frames := []Response{
+		{Rows: [][]string{{"a", "1"}, {"b", "2"}}, More: true},
+		{Rows: [][]string{{"c", "3"}}, Preds: []string{"P.r"}, Cards: []int{3}},
+	}
+	var stream []byte
+	for _, f := range frames {
+		data, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream = append(stream, data...)
+		stream = append(stream, '\n')
+	}
+	br := bufio.NewReader(bytes.NewReader(stream))
+	for i, want := range frames {
+		line, err := ReadFrame(br, DefaultMaxFrame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Response
+		if err := json.Unmarshal(line, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.More != want.More || len(got.Rows) != len(want.Rows) {
+			t.Fatalf("frame %d: %+v", i, got)
+		}
+	}
+	if len(frames[0].Cards) != 0 || frames[1].Cards[0] != 3 {
+		t.Fatalf("cards: %+v", frames)
+	}
+	if _, err := ReadFrame(br, DefaultMaxFrame); err != io.EOF {
+		t.Fatalf("trailing read err = %v, want io.EOF", err)
+	}
+}
+
+// ReadFrame must consume an oversized line through its newline — keeping
+// the stream framed — and then hand back the frames that follow intact.
+func TestReadFrameOversizePreservesFraming(t *testing.T) {
+	big := strings.Repeat("x", 5000)
+	input := big + "\nok\n"
+	br := bufio.NewReaderSize(strings.NewReader(input), 64)
+	if _, err := ReadFrame(br, 1024); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+	line, err := ReadFrame(br, 1024)
+	if err != nil || string(line) != "ok" {
+		t.Fatalf("next frame = %q err = %v", line, err)
+	}
+	if _, err := ReadFrame(br, 1024); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
+// Frames larger than the bufio buffer but under the limit reassemble, and
+// a partial trailing line is an unexpected EOF, not a silent drop.
+func TestReadFrameSpansBufferAndPartialTail(t *testing.T) {
+	long := strings.Repeat("y", 300)
+	br := bufio.NewReaderSize(strings.NewReader(long+"\npartial"), 64)
+	line, err := ReadFrame(br, 1024)
+	if err != nil || string(line) != long {
+		t.Fatalf("long frame: len=%d err=%v", len(line), err)
+	}
+	if _, err := ReadFrame(br, 1024); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("partial tail err = %v, want ErrUnexpectedEOF", err)
 	}
 }
 

@@ -213,21 +213,39 @@ func (n *Network) Reformulate(query string) (*Reformulation, error) {
 	return n.ReformulateCQ(q)
 }
 
+// testHookPostKey, when non-nil, runs right after Query/ReformulateCQ
+// computes its generation-stamped cache key, while the read lock is held.
+// The cache-race regression tests use it to try to interleave a mutation
+// at the worst possible moment: because the key snapshot and the
+// computation now share one lock section, the mutation must block until
+// the computation (and its cache Put) finish.
+var testHookPostKey func()
+
 // ReformulateCQ is Reformulate for an already-parsed query. Results are
 // cached per canonicalized query until the specification changes (Extend);
 // the returned struct is the caller's, but its slices are shared — treat
 // the rewriting as read-only.
 func (n *Network) ReformulateCQ(q lang.CQ) (*Reformulation, error) {
 	n.mu.RLock()
-	specGen := n.specGen
-	n.mu.RUnlock()
-	key := fmt.Sprintf("%d|%s", specGen, q.Canonical())
+	defer n.mu.RUnlock()
+	return n.reformulateCQLocked(q)
+}
+
+// reformulateCQLocked is ReformulateCQ with n.mu already held (any mode).
+// The generation snapshot, the cache probe, the computation and the cache
+// store all happen inside one lock section: an Extend cannot interleave,
+// so an entry keyed with generation g always reflects generation-g state
+// (the old code snapshotted the generation under a separate RLock and
+// could store a post-Extend rewriting under the pre-Extend key).
+func (n *Network) reformulateCQLocked(q lang.CQ) (*Reformulation, error) {
+	key := fmt.Sprintf("%d|%s", n.specGen, q.Canonical())
+	if testHookPostKey != nil {
+		testHookPostKey()
+	}
 	if v, ok := n.reforms.Get(key); ok {
 		ref := v.(Reformulation)
 		return &ref, nil
 	}
-	n.mu.RLock()
-	defer n.mu.RUnlock()
 	r, err := core.New(n.spec, n.opts.core())
 	if err != nil {
 		return nil, err
@@ -255,22 +273,27 @@ func (n *Network) Query(query string) ([]Answer, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Snapshot the generation before computing: if a mutation interleaves,
-	// the entry is stored under a stale key and never served.
+	// The generation snapshot, cache probe, reformulation, evaluation and
+	// cache store share one read-lock section, so no mutation can
+	// interleave: an entry keyed with generation g always holds the
+	// generation-g answer. (The old code released the lock between the
+	// snapshot and the computation; an interleaved Extend/AddFact then
+	// stored a post-mutation answer under the pre-mutation key, which
+	// concurrent old-generation readers hit.)
 	n.mu.RLock()
-	gen := n.gen
-	n.mu.RUnlock()
-	key := fmt.Sprintf("%d|%s", gen, q.Canonical())
+	defer n.mu.RUnlock()
+	key := fmt.Sprintf("%d|%s", n.gen, q.Canonical())
+	if testHookPostKey != nil {
+		testHookPostKey()
+	}
 	if v, ok := n.answers.Get(key); ok {
 		return v.([]Answer), nil
 	}
-	ref, err := n.ReformulateCQ(q)
+	ref, err := n.reformulateCQLocked(q)
 	if err != nil {
 		return nil, err
 	}
-	n.mu.RLock()
 	rows, err := n.eng.EvalUCQ(ref.Rewriting)
-	n.mu.RUnlock()
 	if err != nil {
 		return nil, err
 	}
