@@ -14,15 +14,34 @@
 // indexes (one per probed bound-position set, maintained incrementally
 // from the relation's insert log), a greedy selectivity-ordered join
 // planner, and an LRU of compiled plans keyed by canonicalized query.
-// pdms.Network adds a mutation-invalidated answer cache on top: answers
-// are cached per canonical query under a generation counter that Extend
-// and AddFact bump, so no reader ever sees a stale answer. The naive
-// evaluator in internal/rel remains as the differential-testing oracle.
+// The naive evaluator in internal/rel remains as the differential-testing
+// oracle.
+//
+// Caching is two-level, both levels invalidated at per-relation
+// granularity by generation counters (each relation's monotonic insert
+// count):
+//
+//   - Local: pdms.Network caches query answers keyed by the canonical
+//     query, the spec generation, and the generation *vector* of exactly
+//     the stored relations the query's rewriting touches. An AddFact on
+//     relation R invalidates only cached answers whose rewriting mentions
+//     R; Extend (which can change rewritings) invalidates everything. The
+//     key is snapshotted and the answer computed inside one lock section,
+//     so no reader ever sees a mixed-generation answer.
+//   - Distributed: the netpeer Executor caches fetched/probed bind-join
+//     fragments across queries keyed by (peer, atom pattern, bound-key-set
+//     hash), stamped with the serving peer's per-relation generation
+//     (piggybacked on every wire response) and served again only once that
+//     generation is confirmed current — via a row-free revalidation round
+//     trip, or for free within the configurable FragmentTrust window (the
+//     TTL fallback for peers mutated outside our view). A repeated
+//     identical cross-peer query ships (near) zero rows and bytes.
 //
 // Distributed execution lives in internal/netpeer: peers serve stored
 // relations over TCP, and cross-peer rewritings run as bind-joins — the
 // executor ships the distinct join keys bound so far and the remote peer
 // probes its hash indexes, so only tuples that can join cross the wire.
 // UCQ disjuncts fan out over a worker pool on per-address connection
-// pools; pdms.Network.QueryVia plugs the mediator into that executor.
+// pools with idle health checks; pdms.Network.QueryVia plugs the mediator
+// into that executor.
 package repro

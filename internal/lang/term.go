@@ -46,15 +46,47 @@ func (t Term) IsVar() bool { return t.Kind == KindVar }
 func (t Term) IsConst() bool { return t.Kind == KindConst }
 
 // String renders the term: variables bare, constants double-quoted unless
-// they are numeric literals.
+// they are numeric literals the parser tokenizes back as numbers. The test
+// must be the parser's exact number grammar, not strconv.ParseFloat: that
+// also accepts "Inf", "1e5" or "0x1p2", which printed bare either fail to
+// reparse or — worse — reparse as a *variable*, silently changing the
+// query.
 func (t Term) String() string {
 	if t.IsVar() {
 		return t.Name
 	}
-	if _, err := strconv.ParseFloat(t.Name, 64); err == nil {
+	if isNumericLexeme(t.Name) {
 		return t.Name
 	}
 	return strconv.Quote(t.Name)
+}
+
+// isNumericLexeme reports whether s matches the parser's numeric-literal
+// grammar exactly: -?digits(.digits)?.
+func isNumericLexeme(s string) bool {
+	i := 0
+	if i < len(s) && s[i] == '-' {
+		i++
+	}
+	start := i
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+	}
+	if i == start {
+		return false
+	}
+	if i == len(s) {
+		return true
+	}
+	if s[i] != '.' {
+		return false
+	}
+	i++
+	start = i
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+	}
+	return i > start && i == len(s)
 }
 
 // CompareConst orders two constant lexical values: numerically when both

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/lang"
 	"repro/internal/parser"
@@ -51,6 +52,10 @@ func BenchmarkBindJoin(b *testing.B) {
 			ex := NewExecutor()
 			ex.FetchAll = mode.fetchAll
 			ex.BindPipeline = mode.pipeline
+			// This benchmark measures the wire path itself; the cross-query
+			// fragment cache would serve every iteration after the first
+			// (see BenchmarkFragmentCacheRepeat for that).
+			ex.FragmentCacheOff = true
 			defer ex.Close()
 			for _, a := range []string{addr1, addr2} {
 				if err := ex.Discover(a); err != nil {
@@ -124,6 +129,7 @@ func BenchmarkBindJoinPipelined(b *testing.B) {
 		b.Run(mode.name, func(b *testing.B) {
 			ex := NewExecutor()
 			ex.BindPipeline = mode.pipeline
+			ex.FragmentCacheOff = true // isolate the pipelining effect
 			defer ex.Close()
 			for _, a := range []string{addr1, addr2} {
 				if err := ex.Discover(a); err != nil {
@@ -214,6 +220,7 @@ func BenchmarkBindJoinUCQFanout(b *testing.B) {
 		u.Add(q)
 	}
 	ex := NewExecutor()
+	ex.FragmentCacheOff = true // measure the fan-out, not the cache
 	defer ex.Close()
 	for _, a := range []string{addr1, addr2} {
 		if err := ex.Discover(a); err != nil {
@@ -229,5 +236,151 @@ func BenchmarkBindJoinUCQFanout(b *testing.B) {
 		if len(rows) == 0 {
 			b.Fatal("no rows")
 		}
+	}
+}
+
+// BenchmarkFragmentCacheRepeat is the repeated-bind-join headline: the
+// same skewed cross-peer join as BenchmarkBindJoin, issued repeatedly
+// through one executor. "off" refetches every fragment per query; "reval"
+// (the default FragmentTrust=0 mode) serves cached fragments after one
+// row-free gens round trip per atom; "trusted" (FragmentTrust well above
+// the benchmark duration) answers repeats with zero network traffic. The
+// rows-fetched/op and bytes-recv/op metrics show the second and later
+// identical queries shipping (near) zero.
+func BenchmarkFragmentCacheRepeat(b *testing.B) {
+	const (
+		bigRows   = 20000
+		distinct  = 1000
+		boundKeys = 8
+	)
+	small := map[string][]rel.Tuple{"S.keys": nil}
+	large := map[string][]rel.Tuple{"L.rows": nil}
+	for i := 0; i < boundKeys; i++ {
+		small["S.keys"] = append(small["S.keys"], rel.Tuple{fmt.Sprintf("k%d", i)})
+	}
+	for i := 0; i < bigRows; i++ {
+		large["L.rows"] = append(large["L.rows"],
+			rel.Tuple{fmt.Sprintf("k%d", i%distinct), fmt.Sprintf("p%d", i)})
+	}
+	addr1 := startServer(b, small)
+	addr2 := startServer(b, large)
+	q, err := parser.ParseQuery(`q(x, y) :- S.keys(x), L.rows(x, y)`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name  string
+		off   bool
+		trust time.Duration
+	}{
+		{"off", true, 0},
+		{"reval", false, 0},
+		{"trusted", false, time.Hour},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			ex := NewExecutor()
+			ex.FragmentCacheOff = mode.off
+			ex.FragmentTrust = mode.trust
+			defer ex.Close()
+			for _, a := range []string{addr1, addr2} {
+				if err := ex.Discover(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Warm run: every mode pays the first fetch; the benchmark
+			// then measures the steady repeat.
+			if _, err := ex.EvalCQ(q); err != nil {
+				b.Fatal(err)
+			}
+			base := ex.WireStats()
+			fragBase := ex.FragmentStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rows, err := ex.EvalCQ(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) != boundKeys*bigRows/distinct {
+					b.Fatalf("rows = %d", len(rows))
+				}
+			}
+			b.StopTimer()
+			reportWireDeltas(b, ex.WireStats(), base)
+			frag := ex.FragmentStats()
+			if n := frag.Hits + frag.Misses - fragBase.Hits - fragBase.Misses; n > 0 {
+				b.ReportMetric(float64(frag.Hits-fragBase.Hits)/float64(n), "frag-hit-rate")
+			}
+			b.ReportMetric(float64(frag.Revalidations-fragBase.Revalidations)/float64(b.N), "revalidations/op")
+		})
+	}
+}
+
+// BenchmarkFragmentCacheUnderMutation measures the bind-join workload with
+// a mutation interleaved every iteration: "touched" mutates the probed
+// relation (every fragment invalidates, the cache can only pay overhead),
+// "unrelated" mutates a different relation on the same peer (per-relation
+// generations keep every fragment valid).
+func BenchmarkFragmentCacheUnderMutation(b *testing.B) {
+	const (
+		bigRows   = 20000
+		distinct  = 1000
+		boundKeys = 8
+	)
+	small := map[string][]rel.Tuple{"S.keys": nil}
+	large := map[string][]rel.Tuple{"L.rows": nil, "L.noise": {{"0"}}}
+	for i := 0; i < boundKeys; i++ {
+		small["S.keys"] = append(small["S.keys"], rel.Tuple{fmt.Sprintf("k%d", i)})
+	}
+	for i := 0; i < bigRows; i++ {
+		large["L.rows"] = append(large["L.rows"],
+			rel.Tuple{fmt.Sprintf("k%d", i%distinct), fmt.Sprintf("p%d", i)})
+	}
+	addr1 := startServer(b, small)
+	srvLarge, addr2 := startServerH(b, large)
+	q, err := parser.ParseQuery(`q(x, y) :- S.keys(x), L.rows(x, y)`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		pred string
+	}{
+		{"unrelated", "L.noise"},
+		{"touched", "L.rows"},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			ex := NewExecutor()
+			defer ex.Close()
+			for _, a := range []string{addr1, addr2} {
+				if err := ex.Discover(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := ex.EvalCQ(q); err != nil {
+				b.Fatal(err)
+			}
+			base := ex.WireStats()
+			fragBase := ex.FragmentStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tu := rel.Tuple{fmt.Sprintf("m%d", i)}
+				if mode.pred == "L.rows" {
+					tu = rel.Tuple{fmt.Sprintf("k%d", i%distinct), fmt.Sprintf("m%d", i)}
+				}
+				if err := srvLarge.AddFact(mode.pred, tu); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ex.EvalCQ(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportWireDeltas(b, ex.WireStats(), base)
+			frag := ex.FragmentStats()
+			if n := frag.Hits + frag.Misses - fragBase.Hits - fragBase.Misses; n > 0 {
+				b.ReportMetric(float64(frag.Hits-fragBase.Hits)/float64(n), "frag-hit-rate")
+			}
+			b.ReportMetric(float64(frag.Invalidations-fragBase.Invalidations)/float64(b.N), "invalidations/op")
+		})
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/lang"
@@ -16,6 +17,12 @@ const maxFanout = 8
 // defaultBindPipeline is how many bind batches an executor keeps in flight
 // per connection: batch i+1 ships while batch i's rows stream back.
 const defaultBindPipeline = 4
+
+// defaultIdlePingAfter is the idle age beyond which a pooled connection is
+// health-checked (pinged) before reuse. Long enough that busy workloads
+// never pay it, short enough that a peer restart between bursts is caught
+// by the ping instead of the first real request.
+const defaultIdlePingAfter = 60 * time.Second
 
 // Executor evaluates reformulated unions of conjunctive queries across the
 // peer network. It routes each conjunctive rewriting to the single peer
@@ -36,6 +43,14 @@ const defaultBindPipeline = 4
 //     cardinality says the whole selection-pushed relation is smaller than
 //     the key set — then fetching it outright moves fewer bytes, and the
 //     executor adapts.
+//   - Fetched and probed fragments are cached *across queries* keyed by
+//     (peer, canonical atom pattern, bound-key-set hash) in a size-bounded
+//     LRU. Every response piggybacks the serving peer's per-relation
+//     generation; a cached fragment is served again only once its stamped
+//     generation is confirmed current — by a tiny row-free "gens" round
+//     trip, or for free within the FragmentTrust window — so a repeat of
+//     an identical query ships (near) zero rows while mutations on the
+//     peer invalidate exactly the fragments of the mutated relation.
 //
 // UCQ disjuncts are evaluated concurrently over a worker pool; all methods
 // are safe for concurrent use, multiplexing wire traffic over per-address
@@ -51,6 +66,27 @@ type Executor struct {
 	// (0 = defaultBindPipeline; 1 = sequential batch round trips, for
 	// benchmarks isolating the pipelining win).
 	BindPipeline int
+	// FragmentCacheOff disables the cross-query bind-fragment cache: every
+	// cross-peer atom is fetched from its peer on every query, as before
+	// the cache existed. For benchmarks isolating the wire path and for
+	// differential tests of the cache itself.
+	FragmentCacheOff bool
+	// FragmentTrust is the staleness budget of the fragment cache. Zero
+	// (the default) means a cached fragment is only served after a gens
+	// round trip confirms the serving peer's generation for its relation
+	// is unchanged — strongly consistent with the peer at revalidation
+	// time, while still shipping no rows. A positive duration lets the
+	// executor skip even that round trip while the relation's generation
+	// was observed (on any response from the peer) within the window:
+	// repeated queries then cost zero network traffic, at the price of
+	// serving up to FragmentTrust of staleness when a peer is mutated
+	// outside our view. Set before issuing queries.
+	FragmentTrust time.Duration
+	// IdlePingAfter is the idle age beyond which pooled connections are
+	// pinged before reuse (0 = defaultIdlePingAfter; negative disables
+	// health checks). Set before issuing queries: pools capture it when
+	// first created for an address.
+	IdlePingAfter time.Duration
 
 	mu sync.Mutex
 	// addr maps each stored relation to the address of the serving peer.
@@ -60,12 +96,28 @@ type Executor struct {
 	// They feed the join-order heuristic and the adaptive bind-vs-fetch
 	// choice (stale values shift the plan, never the answer).
 	card map[string]int
+	// gens holds the latest per-relation generation observed for each
+	// routed relation, with the local time of the observation — refreshed
+	// from the piggyback on every response. Unlike card these carry a
+	// correctness contract: the fragment cache serves an entry only when
+	// its stamped generation equals a sufficiently fresh observation
+	// (within FragmentTrust, or from an explicit gens revalidation).
+	gens map[string]genObservation
 	// pools holds one connection pool per peer address.
 	pools map[string]*pool
 	// plans is shared by the per-join scratch engines of the FetchAll path.
 	plans *engine.PlanCache
+	// frags caches cross-peer atom fragments across queries.
+	frags *fragCache
 	// counters aggregates wire traffic across all pooled connections.
 	counters Counters
+}
+
+// genObservation is one piggybacked generation observation: the value and
+// when it was received (local clock; only compared against FragmentTrust).
+type genObservation struct {
+	gen uint64
+	at  time.Time
 }
 
 // NewExecutor creates an executor with an empty routing table.
@@ -73,10 +125,23 @@ func NewExecutor() *Executor {
 	return &Executor{
 		addr:  map[string]string{},
 		card:  map[string]int{},
+		gens:  map[string]genObservation{},
 		pools: map[string]*pool{},
 		plans: engine.NewPlanCache(256),
+		frags: newFragCache(defaultFragEntries, defaultFragBytes),
 	}
 }
+
+// SetFragmentCacheLimits bounds the fragment cache (entries and tuple
+// value bytes); zero keeps the corresponding current bound. Shrinking
+// evicts immediately.
+func (e *Executor) SetFragmentCacheLimits(maxEntries int, maxBytes int64) {
+	e.frags.setLimits(maxEntries, maxBytes)
+}
+
+// FragmentStats returns a snapshot of the cross-query fragment-cache
+// counters.
+func (e *Executor) FragmentStats() FragmentStats { return e.frags.stats() }
 
 // Route declares that the peer at addr serves the given stored relation.
 func (e *Executor) Route(pred, addr string) {
@@ -105,18 +170,30 @@ func (e *Executor) Discover(addr string) error {
 	return nil
 }
 
-// updateCards folds cardinalities piggybacked on responses into the
-// estimate table (only for relations already known, so a response cannot
-// invent routes).
-func (e *Executor) updateCards(preds []string, cards []int) {
+// updateMeta folds cardinalities and generations piggybacked on responses
+// into the estimate and observation tables (only for relations already
+// known, so a response cannot invent routes).
+func (e *Executor) updateMeta(preds []string, cards []int, gens []uint64) {
+	now := time.Now()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for i, p := range preds {
-		if i >= len(cards) {
-			break
+		if _, ok := e.addr[p]; !ok {
+			continue
 		}
-		if _, ok := e.addr[p]; ok {
+		if i < len(cards) {
 			e.card[p] = cards[i]
+		}
+		if i < len(gens) {
+			// Generations are monotonic per relation, but responses from
+			// parallel connections land here in arbitrary order: an older
+			// frame's observation must not regress a newer one (it would
+			// make the trust window spuriously invalidate fragments that
+			// are current). An equal observation still refreshes the
+			// window.
+			if obs, ok := e.gens[p]; !ok || gens[i] >= obs.gen {
+				e.gens[p] = genObservation{gen: gens[i], at: now}
+			}
 		}
 	}
 }
@@ -152,11 +229,18 @@ func (e *Executor) Close() error {
 
 // pool returns (creating if needed) the connection pool for addr.
 func (e *Executor) pool(addr string) *pool {
+	pingAfter := e.IdlePingAfter
+	if pingAfter == 0 {
+		pingAfter = defaultIdlePingAfter
+	}
+	if pingAfter < 0 {
+		pingAfter = 0
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	p, ok := e.pools[addr]
 	if !ok {
-		p = newPool(addr, &e.counters, e.updateCards)
+		p = newPool(addr, &e.counters, e.updateMeta, pingAfter)
 		e.pools[addr] = p
 	}
 	return p
@@ -401,31 +485,12 @@ func (e *Executor) evalStreamingBindJoin(q lang.CQ) ([]rel.Tuple, error) {
 			}
 		}
 
-		// Stream the remote rows straight into the join: probe the partial
-		// hash with each arriving tuple and extend matches with the new
-		// columns. seenRemote dedups across bind batches and makes the
-		// one retry withClient may perform idempotent.
+		// join streams one (already filtered, deduplicated) remote tuple
+		// into the hash join: probe the partial hash and extend matches
+		// with the new columns. Both the wire path and the fragment-cache
+		// path feed it.
 		var next []rel.Tuple
-		seenRemote := map[string]bool{}
-		process := func(t rel.Tuple) error {
-			if len(t) != a.Arity() {
-				return fmt.Errorf("netpeer: %s/%d: remote row has %d values", a.Pred, a.Arity(), len(t))
-			}
-			for _, cc := range sh.constChecks {
-				if t[cc.pos] != cc.val {
-					return nil
-				}
-			}
-			for _, d := range sh.dupChecks {
-				if t[d[0]] != t[d[1]] {
-					return nil
-				}
-			}
-			if k := t.Key(); seenRemote[k] {
-				return nil
-			} else {
-				seenRemote[k] = true
-			}
+		join := func(t rel.Tuple) {
 			kb = kb[:0]
 			for _, p := range sh.keyPoss {
 				kb = engine.AppendKeyPart(kb, t[p])
@@ -439,27 +504,116 @@ func (e *Executor) evalStreamingBindJoin(q lang.CQ) ([]rel.Tuple, error) {
 				}
 				next = append(next, nr)
 			}
-			return nil
 		}
 
 		addr := e.addrOf(a.Pred)
-		depth := e.BindPipeline
-		if depth <= 0 {
-			depth = defaultBindPipeline
+
+		// Cross-query fragment cache: an identical fetch (same peer, same
+		// canonical atom pattern, same bound-key set) whose relation
+		// generation is confirmed unchanged is answered from memory — no
+		// rows cross the wire, at most one tiny gens revalidation round
+		// trip (none within the FragmentTrust window).
+		cacheable := !e.FragmentCacheOff
+		var fragKey string
+		served := false
+		if cacheable {
+			fragKey = fragmentKey(addr, a, sh.keyPoss, keyRows, useBind)
+			if rows, ok := e.fragLookup(addr, a.Pred, fragKey); ok {
+				for _, t := range rows {
+					join(t)
+				}
+				served = true
+			}
 		}
-		var err error
-		if useBind {
-			err = e.withClient(addr, func(c *Client) error {
-				return c.BindEvalStream(a, sh.keyPoss, keyRows, depth, process)
-			})
-		} else {
-			remote := selectionQuery(a)
-			err = e.withClient(addr, func(c *Client) error {
-				return c.EvalStream(remote, process)
-			})
-		}
-		if err != nil {
-			return nil, err
+
+		if !served {
+			// process filters and dedups each arriving remote tuple, feeds
+			// the join, and accumulates the fragment for caching. seenRemote
+			// dedups across bind batches and makes the one retry withClient
+			// may perform idempotent.
+			seenRemote := map[string]bool{}
+			var fragRows []rel.Tuple
+			var fragBytes int64
+			fragTooBig := false
+			fragGen, fragGenSeen, fragGenStable := uint64(0), false, true
+			process := func(t rel.Tuple) error {
+				if len(t) != a.Arity() {
+					return fmt.Errorf("netpeer: %s/%d: remote row has %d values", a.Pred, a.Arity(), len(t))
+				}
+				for _, cc := range sh.constChecks {
+					if t[cc.pos] != cc.val {
+						return nil
+					}
+				}
+				for _, d := range sh.dupChecks {
+					if t[d[0]] != t[d[1]] {
+						return nil
+					}
+				}
+				if k := t.Key(); seenRemote[k] {
+					return nil
+				} else {
+					seenRemote[k] = true
+				}
+				if cacheable && !fragTooBig {
+					fragRows = append(fragRows, t)
+					for _, v := range t {
+						fragBytes += int64(len(v))
+					}
+					if fragBytes > maxFragEntryBytes {
+						fragTooBig = true
+						fragRows = nil
+					}
+				}
+				join(t)
+				return nil
+			}
+			// tap observes the generations this fetch's own final frames
+			// piggyback, to stamp the cached fragment. Distinct values
+			// across frames mean a mutation landed between bind batches:
+			// the fragment is not a point snapshot and must not be cached.
+			tap := func(preds []string, gens []uint64) {
+				for i, p := range preds {
+					if p != a.Pred || i >= len(gens) {
+						continue
+					}
+					if !fragGenSeen {
+						fragGen, fragGenSeen = gens[i], true
+					} else if gens[i] != fragGen {
+						fragGenStable = false
+					}
+				}
+			}
+
+			depth := e.BindPipeline
+			if depth <= 0 {
+				depth = defaultBindPipeline
+			}
+			var err error
+			if useBind {
+				err = e.withClient(addr, func(c *Client) error {
+					if cacheable {
+						c.tapMeta = tap
+						defer func() { c.tapMeta = nil }()
+					}
+					return c.BindEvalStream(a, sh.keyPoss, keyRows, depth, process)
+				})
+			} else {
+				remote := selectionQuery(a)
+				err = e.withClient(addr, func(c *Client) error {
+					if cacheable {
+						c.tapMeta = tap
+						defer func() { c.tapMeta = nil }()
+					}
+					return c.EvalStream(remote, process)
+				})
+			}
+			if err != nil {
+				return nil, err
+			}
+			if cacheable && !fragTooBig && fragGenSeen && fragGenStable {
+				e.frags.put(fragKey, a.Pred, fragGen, fragRows, fragBytes)
+			}
 		}
 
 		partial = next
@@ -529,6 +683,55 @@ func (e *Executor) addrOf(pred string) string {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.addr[pred]
+}
+
+// fragLookup returns the cached fragment under key, but only after
+// confirming its stamped generation is still pred's current generation at
+// addr. A generation mismatch drops the entry (counted as an
+// invalidation); a failed revalidation just misses — the subsequent fetch
+// will surface any real transport problem.
+func (e *Executor) fragLookup(addr, pred, key string) ([]rel.Tuple, bool) {
+	rows, gen, ok := e.frags.lookup(key)
+	if !ok {
+		e.frags.missed()
+		return nil, false
+	}
+	cur, err := e.currentGen(addr, pred)
+	if err != nil || cur != gen {
+		if err == nil {
+			e.frags.invalidate(key)
+		}
+		e.frags.missed()
+		return nil, false
+	}
+	e.frags.confirmHit(key)
+	return rows, true
+}
+
+// currentGen returns pred's current generation at its serving peer: from a
+// prior piggybacked observation when it falls inside the FragmentTrust
+// window, else via a gens revalidation round trip (whose response, like
+// every response, also refreshes the observation table).
+func (e *Executor) currentGen(addr, pred string) (uint64, error) {
+	if trust := e.FragmentTrust; trust > 0 {
+		e.mu.Lock()
+		obs, ok := e.gens[pred]
+		e.mu.Unlock()
+		if ok && time.Since(obs.at) <= trust {
+			return obs.gen, nil
+		}
+	}
+	e.frags.revalidated()
+	var gen uint64
+	err := e.withClient(addr, func(c *Client) error {
+		m, err := c.Gens([]string{pred})
+		if err != nil {
+			return err
+		}
+		gen = m[pred]
+		return nil
+	})
+	return gen, err
 }
 
 // evalComp evaluates comparison c over one partial-join row.

@@ -3,11 +3,20 @@ package netpeer
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // maxIdlePerAddr caps how many idle connections a pool keeps per address;
 // bursts beyond the cap dial extra connections and close them on return.
 const maxIdlePerAddr = 8
+
+// idleConn is one pooled connection plus the moment it went idle, so get
+// can health-check connections that sat unused long enough for the peer to
+// have restarted or an intermediary to have dropped the flow.
+type idleConn struct {
+	c     *Client
+	since time.Time
+}
 
 // pool is a small per-address connection pool. A Client is not safe for
 // concurrent use, so concurrent executor work (parallel UCQ disjuncts,
@@ -16,53 +25,77 @@ const maxIdlePerAddr = 8
 // where a transport-level failure left the stream desynced (request
 // written, response unread) — are closed on return instead of pooled, so a
 // later borrower can never read a stale frame.
+//
+// Connections idle for at least pingAfter are pinged (a no-op protocol
+// round trip) before being handed out: a connection that died while idle
+// is detected and replaced by a fresh dial here, instead of surfacing its
+// failure to the borrower's first real request and leaning on the
+// idempotent-retry path.
 type pool struct {
 	addr     string
 	counters *Counters
-	// onCards propagates response-piggybacked cardinalities from every
-	// pooled connection back to the executor's estimate table.
-	onCards func(preds []string, cards []int)
+	// onMeta propagates response-piggybacked cardinalities and generations
+	// from every pooled connection back to the executor's estimate and
+	// generation-observation tables.
+	onMeta func(preds []string, cards []int, gens []uint64)
+	// pingAfter is the idle age beyond which get pings a connection before
+	// reuse (0 = never ping).
+	pingAfter time.Duration
 
 	mu     sync.Mutex
-	idle   []*Client
+	idle   []idleConn
 	closed bool
 }
 
-func newPool(addr string, counters *Counters, onCards func(preds []string, cards []int)) *pool {
-	return &pool{addr: addr, counters: counters, onCards: onCards}
+func newPool(addr string, counters *Counters, onMeta func(preds []string, cards []int, gens []uint64), pingAfter time.Duration) *pool {
+	return &pool{addr: addr, counters: counters, onMeta: onMeta, pingAfter: pingAfter}
 }
 
 // get returns a connection to the pool's address, reusing an idle one when
-// available. reused reports whether the connection predates this call: a
-// reused connection may have died while idle, so callers issuing idempotent
-// requests may retry once on a fresh dial (see Executor.withClient).
+// available. An idle connection older than pingAfter is health-checked
+// first; dead ones are dropped (counted in HealthDrops) and the next idle
+// connection — or a fresh dial — is tried instead. reused reports whether
+// the connection predates this call: a reused connection may still die
+// between the ping and the request, so callers issuing idempotent requests
+// may retry once on a fresh dial (see Executor.withClient).
 func (p *pool) get() (c *Client, reused bool, err error) {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return nil, false, fmt.Errorf("netpeer: pool for %s is closed", p.addr)
-	}
-	if n := len(p.idle); n > 0 {
-		c = p.idle[n-1]
-		p.idle[n-1] = nil
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return nil, false, fmt.Errorf("netpeer: pool for %s is closed", p.addr)
+		}
+		n := len(p.idle)
+		if n == 0 {
+			p.mu.Unlock()
+			c, err = p.dial()
+			return c, false, err
+		}
+		ic := p.idle[n-1]
+		p.idle[n-1] = idleConn{}
 		p.idle = p.idle[:n-1]
 		p.mu.Unlock()
-		return c, true, nil
+		if p.pingAfter > 0 && time.Since(ic.since) >= p.pingAfter {
+			p.counters.healthPings.Add(1)
+			if err := ic.c.Ping(); err != nil {
+				p.counters.healthDrops.Add(1)
+				ic.c.Close()
+				continue
+			}
+		}
+		return ic.c, true, nil
 	}
-	p.mu.Unlock()
-	c, err = p.dial()
-	return c, false, err
 }
 
 // dial opens a fresh connection wired to the pool's shared counters and
-// cardinality feedback hook, bypassing the idle list.
+// meta feedback hook, bypassing the idle list.
 func (p *pool) dial() (*Client, error) {
 	c, err := Dial(p.addr)
 	if err != nil {
 		return nil, err
 	}
 	c.counters = p.counters
-	c.onCards = p.onCards
+	c.onMeta = p.onMeta
 	return c, nil
 }
 
@@ -82,7 +115,7 @@ func (p *pool) put(c *Client) {
 		c.Close()
 		return
 	}
-	p.idle = append(p.idle, c)
+	p.idle = append(p.idle, idleConn{c: c, since: time.Now()})
 	p.mu.Unlock()
 }
 
@@ -95,8 +128,8 @@ func (p *pool) close() error {
 	p.closed = true
 	p.mu.Unlock()
 	var first error
-	for _, c := range idle {
-		if err := c.Close(); err != nil && first == nil {
+	for _, ic := range idle {
+		if err := ic.c.Close(); err != nil && first == nil {
 			first = err
 		}
 	}

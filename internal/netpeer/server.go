@@ -3,11 +3,10 @@
 // JSON/TCP protocol (package wire), and an Executor evaluates reformulated
 // unions of conjunctive queries across the network.
 //
-// The protocol has four ops (see package wire for the JSON envelopes):
+// The protocol has six ops (see package wire for the JSON envelopes):
 //
 //   - "catalog": list the stored relations served by this peer together
-//     with their current cardinalities (the executor's join-order
-//     heuristic consumes the cardinalities as estimates).
+//     with their current cardinalities and per-relation generations.
 //   - "scan": return every tuple of one relation.
 //   - "eval": evaluate a conjunctive query whose atoms all name relations
 //     served by this peer; used for full push-down of single-peer
@@ -17,6 +16,11 @@
 //     of bound join-key rows for the atom's BindCols positions; the server
 //     probes its indexed engine once per key (engine.ProbeByKeyBatchYield)
 //     and returns the distinct matching tuples instead of a full scan.
+//   - "gens": report the current generation (monotonic insert counter) and
+//     cardinality of the named relations — the fragment cache's row-free
+//     revalidation round trip.
+//   - "ping": no-op liveness probe, used by the connection pools' idle
+//     health checks.
 //
 // Responses STREAM: a row-bearing op answers with bounded chunks
 // (wire.ChunkMaxRows / wire.ChunkMaxBytes) followed by a final frame, so
@@ -25,11 +29,14 @@
 // through the engine's enumeration hooks (engine.StreamCQ,
 // engine.ProbeByKeyBatchYield) rather than materializing answers, and the
 // final frame of every data response piggybacks the current cardinalities
-// of the relations touched, which the executor folds back into its
-// join-order estimates. An oversized or garbled *request* frame is
-// answered with an in-band error (the stream stays framed), never a silent
-// connection drop; genuinely broken streams are counted and reported
-// through the optional Server.Logf diagnostic hook.
+// and generations of the relations touched (read under the same lock as
+// the rows, so the piggyback is consistent with the frame): the executor
+// folds the cardinalities into its join-order estimates and the
+// generations into its fragment-cache staleness checks. An oversized or
+// garbled *request* frame is answered with an in-band error (the stream
+// stays framed), never a silent connection drop; genuinely broken streams
+// are counted and reported through the optional Server.Logf diagnostic
+// hook.
 //
 // Cross-peer rewritings execute as a streaming, adaptive, pipelined
 // bind-join: the Executor orders atoms by the engine's selectivity
@@ -41,9 +48,30 @@
 // (selection-pushed) relation is smaller than the key set, in which case
 // it fetches the relation instead. UCQ disjuncts fan out over a worker
 // pool, multiplexed over per-address connection pools (one Client is not
-// safe for concurrent use). Both sides keep wire-level counters (requests,
-// rows, bytes, bind batches and how many were pipelined) so the shipping
-// and stall savings are measurable.
+// safe for concurrent use); pooled connections idle past
+// Executor.IdlePingAfter are pinged before reuse so a peer restart is
+// absorbed by a fresh dial instead of a first-request failure. Both sides
+// keep wire-level counters (requests, rows, bytes, bind batches and how
+// many were pipelined, health pings/drops) so the shipping and stall
+// savings are measurable.
+//
+// On top of the wire path sits the executor's cross-query fragment cache —
+// the distributed half of the system's two-level cache architecture (the
+// local half is pdms.Network's generation-vector answer cache):
+//
+//   - Every fetched or probed fragment is cached under (peer address,
+//     canonical atom pattern, bound-key-set hash) in an LRU bounded by
+//     entries and bytes, stamped with the relation's generation reported
+//     by the fetch's own response frames (a fetch whose frames disagree —
+//     a mutation landed mid-fetch — is not cached).
+//   - A cached fragment is served only after its generation is confirmed
+//     current: by default via a "gens" round trip (strong consistency with
+//     the peer at revalidation time, zero rows shipped), or for free when
+//     the generation was observed within the Executor.FragmentTrust window
+//     (zero traffic, staleness bounded by the window — the TTL fallback
+//     for peers mutated outside our view).
+//   - An AddFact on the serving peer moves only that relation's
+//     generation, so fragments of other relations keep hitting.
 //
 // The paper treats query execution as out of scope ("recent techniques for
 // adaptive query processing are well suited for our context"); this package
@@ -324,9 +352,9 @@ func (c *chunker) row(t rel.Tuple) error {
 }
 
 // finish emits the final frame: any buffered rows plus the piggybacked
-// cardinalities of the relations the request touched.
-func (c *chunker) finish(preds []string, cards []int) error {
-	return c.send(wire.Response{Rows: c.rows, Preds: preds, Cards: cards})
+// cardinalities and generations of the relations the request touched.
+func (c *chunker) finish(preds []string, cards []int, gens []uint64) error {
+	return c.send(wire.Response{Rows: c.rows, Preds: preds, Cards: cards, Gens: gens})
 }
 
 // handleStream answers one request as a stream of frames through send. It
@@ -336,24 +364,34 @@ func (c *chunker) finish(preds []string, cards []int) error {
 func (s *Server) handleStream(req wire.Request, send func(wire.Response) error) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	// cardsOf assembles the piggyback payload for the touched relations.
-	cardsOf := func(preds ...string) ([]string, []int) {
+	// metaOf assembles the piggyback payload for the touched relations:
+	// cardinality (a join-order estimate) and generation (the fragment
+	// cache's staleness token), both read under the read lock held for the
+	// whole response, so they are consistent with the rows of the frame.
+	metaOf := func(preds ...string) ([]string, []int, []uint64) {
 		cards := make([]int, len(preds))
+		gens := make([]uint64, len(preds))
 		for i, p := range preds {
 			if r := s.data.Relation(p); r != nil {
 				cards[i] = r.Len()
+				gens[i] = r.Version()
 			}
 		}
-		return preds, cards
+		return preds, cards, gens
 	}
 	switch req.Op {
 	case "catalog":
-		preds := s.data.Relations()
-		cards := make([]int, len(preds))
-		for i, p := range preds {
-			cards[i] = s.data.Relation(p).Len()
-		}
-		return send(wire.Response{Preds: preds, Cards: cards})
+		preds, cards, gens := metaOf(s.data.Relations()...)
+		return send(wire.Response{Preds: preds, Cards: cards, Gens: gens})
+	case "gens":
+		// The fragment-cache revalidation round trip: tiny, row-free, and
+		// answered from the same lock-consistent snapshot as any data op.
+		preds, cards, gens := metaOf(req.Preds...)
+		return send(wire.Response{Preds: preds, Cards: cards, Gens: gens})
+	case "ping":
+		// Liveness probe for pool health checks; deliberately touches no
+		// relation state.
+		return send(wire.Response{})
 	case "scan":
 		c := &chunker{send: send}
 		if r := s.data.Relation(req.Pred); r != nil {
@@ -363,8 +401,7 @@ func (s *Server) handleStream(req wire.Request, send func(wire.Response) error) 
 				}
 			}
 		}
-		preds, cards := cardsOf(req.Pred)
-		return c.finish(preds, cards)
+		return c.finish(metaOf(req.Pred))
 	case "eval":
 		if req.Query == nil {
 			return send(wire.Response{Error: "eval: missing query"})
@@ -390,8 +427,7 @@ func (s *Server) handleStream(req wire.Request, send func(wire.Response) error) 
 				preds = append(preds, a.Pred)
 			}
 		}
-		preds, cards := cardsOf(preds...)
-		return c.finish(preds, cards)
+		return c.finish(metaOf(preds...))
 	case "bind":
 		pred, cols, keys, err := bindProbeArgs(req)
 		if err != nil {
@@ -404,8 +440,7 @@ func (s *Server) handleStream(req wire.Request, send func(wire.Response) error) 
 			}
 			return send(wire.Response{Error: err.Error()})
 		}
-		preds, cards := cardsOf(pred)
-		return c.finish(preds, cards)
+		return c.finish(metaOf(pred))
 	default:
 		return send(wire.Response{Error: fmt.Sprintf("unknown op %q", req.Op)})
 	}
@@ -490,6 +525,8 @@ type Counters struct {
 	maxFrame      atomic.Uint64
 	bindBatches   atomic.Uint64
 	bindPipelined atomic.Uint64
+	healthPings   atomic.Uint64
+	healthDrops   atomic.Uint64
 }
 
 // WireStats is a snapshot of client-side wire counters.
@@ -512,6 +549,10 @@ type WireStats struct {
 	// streaming back. Their difference is the number of sequential
 	// round-trip stalls paid on the bind path.
 	BindBatches, BindBatchesPipelined uint64
+	// HealthPings counts idle-too-long pooled connections pinged before
+	// reuse; HealthDrops counts those the ping found dead (closed and
+	// replaced by a fresh dial instead of surfacing a first-use failure).
+	HealthPings, HealthDrops uint64
 }
 
 // Snapshot returns the current counter values.
@@ -524,6 +565,8 @@ func (ct *Counters) Snapshot() WireStats {
 		MaxFrameBytes:        ct.maxFrame.Load(),
 		BindBatches:          ct.bindBatches.Load(),
 		BindBatchesPipelined: ct.bindPipelined.Load(),
+		HealthPings:          ct.healthPings.Load(),
+		HealthDrops:          ct.healthDrops.Load(),
 	}
 }
 
@@ -551,10 +594,16 @@ type Client struct {
 	// counters, when non-nil, aggregates this client's traffic (set by the
 	// executor's pool so all pooled connections share one Counters).
 	counters *Counters
-	// onCards, when non-nil, receives the cardinalities piggybacked on
-	// final response frames (set by the executor's pool so estimates
-	// refresh continuously).
-	onCards func(preds []string, cards []int)
+	// onMeta, when non-nil, receives the cardinalities and generations
+	// piggybacked on final response frames (set by the executor's pool so
+	// estimates and generation observations refresh continuously).
+	onMeta func(preds []string, cards []int, gens []uint64)
+	// tapMeta, when non-nil, additionally receives the same piggyback for
+	// the duration of one logical call — the executor installs it around a
+	// fragment fetch to stamp the cached fragment with the generation its
+	// own response frames reported (the shared onMeta table would race with
+	// concurrent calls observing newer generations).
+	tapMeta func(preds []string, gens []uint64)
 	// broken is set when a transport-level failure leaves the stream
 	// desynced (request written but response unread, a partial/garbled
 	// frame consumed, or a response stream abandoned mid-flight): reusing
@@ -634,8 +683,13 @@ func (c *Client) readStream(onRows func([][]string) error) (wire.Response, error
 			}
 		}
 		if !resp.More {
-			if c.onCards != nil && len(resp.Preds) > 0 {
-				c.onCards(resp.Preds, resp.Cards)
+			if len(resp.Preds) > 0 {
+				if c.onMeta != nil {
+					c.onMeta(resp.Preds, resp.Cards, resp.Gens)
+				}
+				if c.tapMeta != nil {
+					c.tapMeta(resp.Preds, resp.Gens)
+				}
 			}
 			return resp, nil
 		}
@@ -708,6 +762,34 @@ func (c *Client) CatalogStats() (map[string]int, error) {
 		}
 	}
 	return out, nil
+}
+
+// Gens asks the peer for the current generation (monotonic insert counter)
+// of each named relation — the fragment cache's cheap revalidation round
+// trip: no rows cross the wire, and a relation the peer does not serve
+// reports generation 0.
+func (c *Client) Gens(preds []string) (map[string]uint64, error) {
+	resp, err := c.roundTrip(wire.Request{Op: "gens", Preds: preds})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]uint64, len(resp.Preds))
+	for i, p := range resp.Preds {
+		if i < len(resp.Gens) {
+			out[p] = resp.Gens[i]
+		} else {
+			out[p] = 0
+		}
+	}
+	return out, nil
+}
+
+// Ping performs a no-op round trip, verifying the connection and the peer
+// are alive. Connection pools use it to health-check idle-too-long
+// connections before reuse.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(wire.Request{Op: "ping"})
+	return err
 }
 
 // Scan fetches all tuples of one relation.

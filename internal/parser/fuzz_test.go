@@ -1,0 +1,80 @@
+package parser
+
+import (
+	"testing"
+)
+
+// FuzzParseQuery checks the query parser never panics and — for every
+// input it accepts — that the printed form reparses to an alpha-equivalent
+// query (same canonical form). This is the round-trip property the tools
+// rely on: rewritings printed by one process are valid query inputs for
+// another. It is what forced lang.Term.String to stop printing "Inf" or
+// "1e5" bare (bare they reparse as a variable, or not at all) and the
+// lexer to accept the full strconv.Quote escape repertoire.
+func FuzzParseQuery(f *testing.F) {
+	for _, s := range []string{
+		`q(x) :- A:R(x)`,
+		`q(x, y) :- B.s(x, y), C.t(y)`,
+		`q(x) :- A:R(x, x), x != "5"`,
+		`q(x) :- H:Doctor(x, l), x <= "d99", l = "er"`,
+		`q("lit", x) :- A:R(x, -1.5), B:S(x, 42)`,
+		`q(x) :- A:R(x, "two words"), A:R(x, "esc\"aped\\")`,
+		`q(x) :- A:R(x, "Inf"), A:R(x, "1e5")`,
+		"q(x) :- A:R(x, \"tab\\there\")",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := ParseQuery(src)
+		if err != nil {
+			return
+		}
+		printed := q.String()
+		back, err := ParseQuery(printed)
+		if err != nil {
+			t.Fatalf("printed form %q of accepted query %q does not reparse: %v", printed, src, err)
+		}
+		if back.Canonical() != q.Canonical() {
+			t.Fatalf("round trip changed the query:\n src %q\n printed %q\n canon %q vs %q",
+				src, printed, q.Canonical(), back.Canonical())
+		}
+	})
+}
+
+// FuzzParse drives the full PPL specification parser (declarations,
+// mappings, storage descriptions, facts, datalog-style defines) with
+// arbitrary input: it must never panic, and an accepted specification must
+// support the basic traversals the rest of the system performs on load.
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{
+		"storage A.r(x) in A:R(x)\nfact A.r(\"1\")",
+		"peer H { Doctor(sid, loc) }\ndefine DC:On(d) :- H:Doctor(d, l)",
+		"include A:R(x) in B:S(x)\nequal A:R(x, y) and C:T(x, y)",
+		"stored FH.doc(sid, last)\nstorage FH.doc(s, l) = FH:Doctor(s, l)",
+		"# comment\nquery q(x) :- A:R(x), x != \"d99\"\n",
+		"storage A.r(x) in A:R(x)\nstorage B.s(x, y) in B:S(x, y)\nfact B.s(\"a\", \"b\")",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		res, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if res == nil || res.PDMS == nil || res.Data == nil {
+			t.Fatalf("accepted input %q returned nil result pieces", src)
+		}
+		// The traversals every loader runs must hold together.
+		for _, name := range res.PDMS.RelationNames() {
+			if res.PDMS.Relation(name) == nil {
+				t.Fatalf("declared relation %q has no descriptor", name)
+			}
+		}
+		_ = res.PDMS.Stats()
+		for _, pred := range res.Data.Relations() {
+			if res.Data.Relation(pred) == nil {
+				t.Fatalf("fact relation %q missing", pred)
+			}
+		}
+	})
+}

@@ -25,6 +25,7 @@ package parser
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"unicode"
 )
@@ -229,9 +230,16 @@ func (lx *lexer) next() (token, error) {
 	}
 }
 
+// lexString scans one double-quoted literal and decodes it with
+// strconv.Unquote, so the full Go escape repertoire (backslash-n, -t, -",
+// -\, -xFF, -uFFFF, …) is accepted. That exactly covers what strconv.Quote
+// emits,
+// which is what lang.Term.String prints for non-numeric constants — any
+// printed query reparses to the same constant values (the fuzz round-trip
+// property).
 func (lx *lexer) lexString(line, col int) (token, error) {
+	start := lx.pos
 	lx.advance() // opening quote
-	var sb strings.Builder
 	for {
 		if lx.pos >= len(lx.src) {
 			return token{}, lx.errf(line, col, "unterminated string")
@@ -239,26 +247,18 @@ func (lx *lexer) lexString(line, col int) (token, error) {
 		b := lx.advance()
 		switch b {
 		case '"':
-			return token{tokString, sb.String(), line, col}, nil
+			val, err := strconv.Unquote(lx.src[start:lx.pos])
+			if err != nil {
+				return token{}, lx.errf(line, col, "bad escape or string literal: %v", err)
+			}
+			return token{tokString, val, line, col}, nil
 		case '\\':
 			if lx.pos >= len(lx.src) {
 				return token{}, lx.errf(line, col, "unterminated escape")
 			}
-			e := lx.advance()
-			switch e {
-			case 'n':
-				sb.WriteByte('\n')
-			case 't':
-				sb.WriteByte('\t')
-			case '"', '\\':
-				sb.WriteByte(e)
-			default:
-				return token{}, lx.errf(line, col, "bad escape \\%c", e)
-			}
+			lx.advance()
 		case '\n':
 			return token{}, lx.errf(line, col, "newline in string")
-		default:
-			sb.WriteByte(b)
 		}
 	}
 }

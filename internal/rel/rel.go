@@ -182,6 +182,19 @@ func (ins *Instance) Relations() []string {
 	return out
 }
 
+// Gen returns the per-relation generation of pred: the number of inserts
+// it has absorbed (Relation.Version), or 0 when the relation is absent. A
+// relation that exists but holds no tuples is indistinguishable from an
+// absent one, which is sound for generation keying: both denote the same
+// (empty) contents. Callers key caches by vectors of these counters so a
+// mutation of one relation invalidates only entries that touch it.
+func (ins *Instance) Gen(pred string) uint64 {
+	if r := ins.rels[pred]; r != nil {
+		return r.Version()
+	}
+	return 0
+}
+
 // Add inserts a tuple into pred, creating the relation on first use. It
 // reports whether the tuple was new.
 func (ins *Instance) Add(pred string, t Tuple) (bool, error) {

@@ -1,0 +1,115 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReadFrame drives the frame reader with arbitrary byte streams and
+// limits, checking its contract: returned frames never exceed the limit
+// and never contain a newline; an over-limit line is consumed through its
+// newline (the stream stays framed, later frames still parse); the reader
+// terminates; and on a clean run the frames concatenate back to the input
+// (nothing lost, nothing invented).
+func FuzzReadFrame(f *testing.F) {
+	seeds := [][]byte{
+		[]byte("{\"op\":\"catalog\"}\n"),
+		[]byte("short\na much longer second line\n"),
+		[]byte(""),
+		[]byte("\n\n\n"),
+		[]byte("no trailing newline"),
+		bytes.Repeat([]byte("x"), 5000),
+		append(bytes.Repeat([]byte("y"), 3000), '\n'),
+		append(append(bytes.Repeat([]byte("z"), 200), '\n'), []byte("tail\n")...),
+	}
+	for _, s := range seeds {
+		f.Add(s, 64)
+		f.Add(s, 4096)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, max int) {
+		if max < 1 {
+			max = 1
+		}
+		if max > 1<<20 {
+			max = 1 << 20
+		}
+		// A tiny bufio buffer forces the ErrBufferFull continuation paths.
+		br := bufio.NewReaderSize(bytes.NewReader(data), 16)
+		var rebuilt []byte
+		overLimit := false
+		cleanEOF := false
+		// Each iteration consumes at least one byte or ends the stream, so
+		// len(data)+1 iterations must reach a terminal condition.
+		for i := 0; i <= len(data); i++ {
+			frame, err := ReadFrame(br, max)
+			if err == nil {
+				if len(frame) > max {
+					t.Fatalf("frame of %d bytes exceeds limit %d", len(frame), max)
+				}
+				if bytes.IndexByte(frame, '\n') >= 0 {
+					t.Fatalf("frame contains a newline: %q", frame)
+				}
+				rebuilt = append(rebuilt, frame...)
+				rebuilt = append(rebuilt, '\n')
+				continue
+			}
+			if errors.Is(err, ErrFrameTooLarge) {
+				// Framing must survive: keep reading.
+				overLimit = true
+				continue
+			}
+			if errors.Is(err, io.EOF) {
+				cleanEOF = true
+			} else if !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			break
+		}
+		if cleanEOF && !overLimit && !bytes.Equal(rebuilt, data) {
+			t.Fatalf("clean read did not reconstruct input:\n got %q\nwant %q", rebuilt, data)
+		}
+	})
+}
+
+// FuzzRequestDecode feeds arbitrary bytes through the request frame
+// decoding path the server runs on every line: JSON into wire.Request,
+// then lowering the embedded query/atom to lang values. Nothing here may
+// panic, whatever the bytes.
+func FuzzRequestDecode(f *testing.F) {
+	f.Add([]byte(`{"op":"catalog"}`))
+	f.Add([]byte(`{"op":"scan","pred":"A.r"}`))
+	f.Add([]byte(`{"op":"gens","preds":["A.r","B.s"]}`))
+	f.Add([]byte(`{"op":"eval","query":{"head":{"p":"q","a":[{"k":"var","v":"x"}]},"body":[{"p":"A.r","a":[{"k":"var","v":"x"}]}]}}`))
+	f.Add([]byte(`{"op":"bind","atom":{"p":"A.r","a":[{"k":"const","v":"1"}]},"bindCols":[0],"bindRows":[["1"]]}`))
+	f.Add([]byte(`{"op":"eval","query":{"head":{"p":"q"},"comps":[{"op":"<","l":{"k":"const","v":"1"},"r":{"k":"var","v":"x"}}]}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req Request
+		if err := json.Unmarshal(data, &req); err != nil {
+			return
+		}
+		if req.Query != nil {
+			q, err := req.Query.ToCQ()
+			if err == nil {
+				// A decodable query must survive the wire round trip.
+				back, err := FromCQ(q).ToCQ()
+				if err != nil {
+					t.Fatalf("re-encoding decoded query failed: %v", err)
+				}
+				if back.Canonical() != q.Canonical() {
+					t.Fatalf("wire round trip changed query: %q vs %q", back.Canonical(), q.Canonical())
+				}
+			}
+		}
+		if req.Atom != nil {
+			if a, err := req.Atom.ToAtom(); err == nil {
+				if _, err := FromAtom(a).ToAtom(); err != nil {
+					t.Fatalf("re-encoding decoded atom failed: %v", err)
+				}
+			}
+		}
+	})
+}

@@ -3,30 +3,42 @@
 // the request/response envelopes of the peer protocol.
 //
 // The protocol is newline-delimited JSON over TCP: one request per line,
-// answered by a *stream* of one or more response frames. Four request
+// answered by a *stream* of one or more response frames. Six request
 // kinds:
 //
 //	{"op":"eval", "query":{…}}        evaluate a CQ over this peer's stored
 //	                                  relations, returning the head tuples
 //	{"op":"scan", "pred":"FH.doc"}    return all tuples of one relation
 //	{"op":"catalog"}                  list the stored relations served here,
-//	                                  with their current cardinalities
+//	                                  with their current cardinalities and
+//	                                  per-relation generations
 //	{"op":"bind", "atom":{…},         bind-join probe: return the distinct
 //	 "bindCols":[…], "bindRows":[…]}  tuples of the atom's relation that
 //	                                  match the atom's constants and, at the
 //	                                  bindCols positions, any one of the
 //	                                  shipped bindRows key batches
+//	{"op":"gens", "preds":[…]}        report the current generation (insert
+//	                                  counter) and cardinality of each named
+//	                                  relation — the cheap revalidation
+//	                                  round trip of the executor's
+//	                                  cross-query fragment cache
+//	{"op":"ping"}                     no-op liveness probe; connection pools
+//	                                  use it to health-check idle-too-long
+//	                                  connections before reuse
 //
 // Responses are chunked: a row-bearing op (eval, scan, bind) answers with
 // zero or more non-final frames {"rows":[…],"more":true} — each bounded in
 // rows and bytes, so neither side ever frames an answer-sized message —
 // followed by exactly one final frame (no "more") that carries any
-// trailing rows plus, piggybacked, the current cardinalities of the
-// relations the request touched ("preds"/"cards", which the querying
-// executor folds into its join-order estimates). An error frame
-// ({"error":…}) is always final and may arrive mid-stream, in which case
-// the rows already received must be discarded. Single-frame ops (catalog,
-// errors) are just a stream of length one.
+// trailing rows plus, piggybacked, the current cardinalities *and
+// per-relation generations* of the relations the request touched
+// ("preds"/"cards"/"gens"). The querying executor folds the cardinalities
+// into its join-order estimates and the generations into its fragment
+// cache's staleness checks: a cached fragment of relation R fetched at
+// generation g is served again only while R's generation is still g. An
+// error frame ({"error":…}) is always final and may arrive mid-stream, in
+// which case the rows already received must be discarded. Single-frame ops
+// (catalog, gens, ping, errors) are just a stream of length one.
 //
 // The bind op is the semi-join half of cross-peer bind-join execution: the
 // querying peer ships the distinct join-key values it has bound so far
@@ -188,12 +200,14 @@ func (q CQ) ToCQ() (lang.CQ, error) {
 
 // Request is one protocol request.
 type Request struct {
-	// Op is "eval", "scan", "catalog" or "bind".
+	// Op is "eval", "scan", "catalog", "bind", "gens" or "ping".
 	Op string `json:"op"`
 	// Query is the CQ for eval.
 	Query *CQ `json:"query,omitempty"`
 	// Pred is the relation for scan.
 	Pred string `json:"pred,omitempty"`
+	// Preds lists the relations whose generations a gens request asks for.
+	Preds []string `json:"preds,omitempty"`
 	// Atom is the atom to probe for bind: constant arguments are pushed
 	// down as selections; variable arguments are unconstrained unless their
 	// position appears in BindCols.
@@ -226,6 +240,14 @@ type Response struct {
 	// join-order heuristic consumes them as estimates — refreshed on every
 	// response, they may still go stale without affecting correctness.
 	Cards []int `json:"cards,omitempty"`
+	// Gens carries per-relation generations (monotonic insert counters)
+	// parallel to Preds, read under the same server lock as the rows of
+	// the frame. Unlike Cards they carry a correctness contract: a cached
+	// fragment of relation R stamped with generation g holds exactly R's
+	// matching tuples for as long as R's generation stays g, so the
+	// executor's fragment cache serves an entry only after seeing (or
+	// revalidating to) an equal generation.
+	Gens []uint64 `json:"gens,omitempty"`
 }
 
 // ErrFrameTooLarge is returned by ReadFrame when one line exceeds the

@@ -77,6 +77,104 @@ fact A.r("1")
 	}
 }
 
+// TestUnrelatedAddFactKeepsCacheHit is the acceptance regression for
+// per-relation generation keying: an AddFact to relation B.s must leave
+// the cached answer for a query whose rewriting only mentions A.r valid —
+// the re-issued query hits the cache — while queries touching B.s see the
+// new fact.
+func TestUnrelatedAddFactKeepsCacheHit(t *testing.T) {
+	net, err := Load(`
+storage A.r(x) in A:R(x)
+storage B.s(x) in B:S(x)
+fact A.r("1")
+fact B.s("1")
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := net.Query(`q(x) :- A:R(x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st0 := net.CacheStats()
+	if err := net.AddFact("B.s", "2"); err != nil {
+		t.Fatal(err)
+	}
+	again, err := net.Query(`q(x) :- A:R(x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Fatalf("answer changed across an unrelated mutation: %v vs %v", first, again)
+	}
+	st1 := net.CacheStats()
+	if st1.Hits != st0.Hits+1 {
+		t.Fatalf("unrelated AddFact invalidated the cached answer: %+v -> %+v", st0, st1)
+	}
+	if st1.Invalidations != st0.Invalidations+1 {
+		t.Fatalf("AddFact did not count as an invalidation event: %+v -> %+v", st0, st1)
+	}
+	// The mutated relation's own queries must of course see the new fact.
+	rows, err := net.Query(`q(x) :- B:S(x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("B:S rows = %v, want 2", rows)
+	}
+}
+
+// TestAddFactInvalidatesOnlyTouchedRelation drives the same property
+// through a union rewriting: a query over U:All (rewriting mentions both
+// A.r and D.w) must be invalidated by a mutation of either, while a query
+// over A:R alone survives a D.w mutation.
+func TestAddFactInvalidatesOnlyTouchedRelation(t *testing.T) {
+	net, err := Load(`
+storage A.r(x) in A:R(x)
+storage D.w(x) in D:W(x)
+include A:R(x) in U:All(x)
+include D:W(x) in U:All(x)
+fact A.r("a1")
+fact D.w("d1")
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Query(`q(x) :- A:R(x)`); err != nil {
+		t.Fatal(err)
+	}
+	union, err := net.Query(`q(x) :- U:All(x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(union) != 2 {
+		t.Fatalf("union rows = %v", union)
+	}
+	st0 := net.CacheStats()
+	if err := net.AddFact("D.w", "d2"); err != nil {
+		t.Fatal(err)
+	}
+	// A:R query survives the D.w mutation (hit)...
+	if _, err := net.Query(`q(x) :- A:R(x)`); err != nil {
+		t.Fatal(err)
+	}
+	st1 := net.CacheStats()
+	if st1.Hits != st0.Hits+1 {
+		t.Fatalf("A:R answer lost to a D.w mutation: %+v -> %+v", st0, st1)
+	}
+	// ...while the union query, whose rewriting mentions D.w, recomputes.
+	union, err = net.Query(`q(x) :- U:All(x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(union) != 3 {
+		t.Fatalf("union rows after mutation = %v, want 3 (stale union served?)", union)
+	}
+	if st2 := net.CacheStats(); st2.Hits != st1.Hits {
+		t.Fatalf("union query was served stale from the cache: %+v -> %+v", st1, st2)
+	}
+}
+
 // TestExtendInvalidatesAnswers verifies Extend invalidates both the answer
 // cache and the reformulation cache: a new mapping and a new fact must be
 // visible to a query whose answer (and rewriting) was cached before.

@@ -74,6 +74,56 @@ fact A.r("1")
 	}
 }
 
+// TestUnrelatedMutationAtWorstMomentKeepsKeysDisjoint aims the same
+// worst-case interleaving at the *per-relation* generation-vector keys: an
+// AddFact to B.s fired right after a query over A:R stamps its key. The
+// mutation must not leak into the A:R entry (its genvector omits B.s), the
+// entry must stay valid afterwards (hit on re-query — the whole point of
+// per-relation keys), and B:S queries must see the new fact.
+func TestUnrelatedMutationAtWorstMomentKeepsKeysDisjoint(t *testing.T) {
+	net, err := Load(`
+storage A.r(x) in A:R(x)
+storage B.s(x) in B:S(x)
+fact A.r("1")
+fact B.s("1")
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := armRaceHook(t, func() {
+		if err := net.AddFact("B.s", "2"); err != nil {
+			t.Error(err)
+		}
+	})
+	rows, err := net.Query(`q(x) :- A:R(x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("A:R rows = %v", rows)
+	}
+	<-done
+	testHookPostKey = nil
+	st0 := net.CacheStats()
+	rows, err = net.Query(`q(x) :- A:R(x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("A:R rows after unrelated mutation = %v", rows)
+	}
+	if st1 := net.CacheStats(); st1.Hits != st0.Hits+1 {
+		t.Fatalf("unrelated B.s mutation invalidated the A:R entry: %+v -> %+v", st0, st1)
+	}
+	rows, err = net.Query(`q(x) :- B:S(x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("B:S rows = %v, want 2", rows)
+	}
+}
+
 func TestReformulateGenSnapshotExcludesInterleavedExtend(t *testing.T) {
 	net, err := Load(`storage A.r(x) in A:R(x)`)
 	if err != nil {

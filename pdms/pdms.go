@@ -17,6 +17,8 @@ package pdms
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/chase"
@@ -40,24 +42,34 @@ const (
 // lock, reads share a read lock.
 //
 // Queries execute through an indexed engine (internal/engine) and their
-// answers are cached in an LRU keyed by the canonicalized query and a
-// generation counter: Extend and AddFact bump the generation, so a cached
-// answer is never served across a mutation. Cached results are shared —
-// callers must not mutate returned answer slices.
+// answers are cached in an LRU keyed by the canonicalized query, the spec
+// generation, and the *generation vector* of exactly the stored relations
+// the query's rewriting touches (each relation's rel.Instance.Gen insert
+// counter). An AddFact on relation R therefore invalidates only cached
+// answers whose rewriting mentions R — answers for disjoint queries keep
+// hitting across the mutation — while Extend (which can change every
+// rewriting) bumps the spec generation and so invalidates everything.
+// Cached results are shared — callers must not mutate returned answer
+// slices.
 type Network struct {
 	mu   sync.RWMutex
 	spec *ppl.PDMS
 	data *rel.Instance
 	opts Options
 	eng  *engine.Engine
-	// gen counts data or spec mutations; specGen counts spec mutations
-	// only (AddFact cannot change reformulations). Cache keys embed the
-	// counter current when the entry was computed, so any mutation
-	// invalidates: stale keys simply never match and age out of the LRU.
-	gen     uint64
+	// specGen counts spec mutations (Extend); it keys the reformulation
+	// cache and is one component of every answer-cache key. Data mutations
+	// never bump it (AddFact cannot change reformulations) — they advance
+	// the mutated relation's own insert counter instead, which answer keys
+	// embed per relation. Stale keys simply never match and age out of the
+	// LRUs.
 	specGen uint64
-	answers *engine.LRU
-	reforms *engine.LRU
+	// invalidations counts generation-bumping mutation events (AddFact
+	// that inserted a new tuple, every Extend) for observability; written
+	// under the write lock, read under either lock.
+	invalidations uint64
+	answers       *engine.LRU
+	reforms       *engine.LRU
 }
 
 func newNetwork(spec *ppl.PDMS, data *rel.Instance, opts Options) *Network {
@@ -130,10 +142,13 @@ func (n *Network) Extend(src string) error {
 	defer n.mu.Unlock()
 	// Invalidate caches even when the merge fails partway: declarations or
 	// mappings may already have been applied, and serving pre-Extend cached
-	// answers against a partially-extended spec would be stale.
+	// answers against a partially-extended spec would be stale. Bumping the
+	// spec generation invalidates every answer key, not just the touched
+	// relations' — a new mapping can change which relations a rewriting
+	// mentions.
 	defer func() {
-		n.gen++
 		n.specGen++
+		n.invalidations++
 	}()
 	// Merge declarations, mappings, storage and data.
 	for _, name := range res.PDMS.RelationNames() {
@@ -167,13 +182,17 @@ func (n *Network) Extend(src string) error {
 func (n *Network) Spec() *ppl.PDMS { return n.spec }
 
 // Data exposes the stored-relation instance. Read-only: mutating it
-// directly bypasses the generation counter that invalidates cached query
-// answers, so previously-cached answers would be served stale forever. All
-// mutation must go through AddFact or Extend.
+// directly bypasses the Network's lock (and the per-relation insert
+// counters that answer-cache keys are built from are only read safely
+// under it), so cached answers could be served stale. All mutation must go
+// through AddFact or Extend.
 func (n *Network) Data() *rel.Instance { return n.data }
 
-// AddFact inserts a tuple into a stored relation. It invalidates cached
-// query answers (the next Query recomputes and re-caches).
+// AddFact inserts a tuple into a stored relation. The insert advances that
+// relation's generation counter, invalidating exactly the cached answers
+// whose rewriting mentions it; cached answers for queries over other
+// relations survive. A duplicate insert is a no-op and keeps the whole
+// cache warm.
 func (n *Network) AddFact(stored string, values ...string) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -182,8 +201,7 @@ func (n *Network) AddFact(stored string, values ...string) error {
 	}
 	added, err := n.data.Add(stored, rel.Tuple(values))
 	if err == nil && added {
-		// Duplicate inserts are no-ops: keep the answer cache warm.
-		n.gen++
+		n.invalidations++
 	}
 	return err
 }
@@ -263,35 +281,65 @@ func (n *Network) reformulateCQLocked(q lang.CQ) (*Reformulation, error) {
 	return &ref, nil
 }
 
+// answerKeyLocked builds the answer-cache key for q given its
+// reformulation, with n.mu held (any mode): the spec generation, then the
+// generation vector of exactly the stored relations the rewriting
+// mentions (sorted, so disjunct order cannot split cache entries), then
+// the canonicalized query. A mutation of relation R changes the key of
+// every query whose rewriting touches R — and only those — while old keys
+// never match again and age out of the LRU.
+func (n *Network) answerKeyLocked(q lang.CQ, ref *Reformulation) string {
+	seen := map[string]bool{}
+	var preds []string
+	for _, d := range ref.Rewriting.Disjuncts {
+		for _, p := range d.Preds() {
+			if !seen[p] {
+				seen[p] = true
+				preds = append(preds, p)
+			}
+		}
+	}
+	sort.Strings(preds)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d", n.specGen)
+	for _, p := range preds {
+		fmt.Fprintf(&sb, "|%s=%d", p, n.data.Gen(p))
+	}
+	sb.WriteByte('|')
+	sb.WriteString(q.Canonical())
+	return sb.String()
+}
+
 // Query reformulates and executes a textual query over the stored data,
 // returning the certain answers (all of them when the specification is in
 // the tractable fragment). Execution runs through the indexed engine;
-// answers are cached and served until the next mutation. Callers must not
-// mutate the returned slice.
+// answers are cached under the generation vector of the relations the
+// rewriting touches and served until one of *those* relations (or the
+// specification) mutates. Callers must not mutate the returned slice.
 func (n *Network) Query(query string) ([]Answer, error) {
 	q, err := parser.ParseQuery(query)
 	if err != nil {
 		return nil, err
 	}
-	// The generation snapshot, cache probe, reformulation, evaluation and
-	// cache store share one read-lock section, so no mutation can
-	// interleave: an entry keyed with generation g always holds the
-	// generation-g answer. (The old code released the lock between the
-	// snapshot and the computation; an interleaved Extend/AddFact then
-	// stored a post-mutation answer under the pre-mutation key, which
-	// concurrent old-generation readers hit.)
+	// The reformulation, the generation-vector snapshot, the cache probe,
+	// the evaluation and the cache store share one read-lock section, so no
+	// mutation can interleave: an entry keyed with generation vector v
+	// always holds the vector-v answer. (The old code released the lock
+	// between the snapshot and the computation; an interleaved
+	// Extend/AddFact then stored a post-mutation answer under the
+	// pre-mutation key, which concurrent old-generation readers hit.)
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	key := fmt.Sprintf("%d|%s", n.gen, q.Canonical())
+	ref, err := n.reformulateCQLocked(q)
+	if err != nil {
+		return nil, err
+	}
+	key := n.answerKeyLocked(q, ref)
 	if testHookPostKey != nil {
 		testHookPostKey()
 	}
 	if v, ok := n.answers.Get(key); ok {
 		return v.([]Answer), nil
-	}
-	ref, err := n.reformulateCQLocked(q)
-	if err != nil {
-		return nil, err
 	}
 	rows, err := n.eng.EvalUCQ(ref.Rewriting)
 	if err != nil {
@@ -317,8 +365,9 @@ type UCQEvaluator interface {
 // may live on remote peers instead of in this network's local instance
 // (the full paper pipeline: pose at a peer, reformulate, execute across
 // the network). Reformulations are cached as usual; answers are not,
-// because remote data is outside the local generation counter and cached
-// answers could never be invalidated.
+// because remote data is outside the local generation counters — caching
+// on the distributed path is the executor's job (its bind-fragment cache
+// revalidates against the serving peers' per-relation generations).
 func (n *Network) QueryVia(query string, exec UCQEvaluator) ([]Answer, error) {
 	q, err := parser.ParseQuery(query)
 	if err != nil {
@@ -339,15 +388,26 @@ func (n *Network) QueryVia(query string, exec UCQEvaluator) ([]Answer, error) {
 	return out, nil
 }
 
-// QueryCacheStats reports cumulative answer-cache hits and misses.
+// QueryCacheStats reports cumulative answer-cache counters.
 type QueryCacheStats struct {
+	// Hits and Misses count answer-cache probes. With per-relation
+	// generation keys, a miss happens on a cold query, after a mutation of
+	// a relation the query's rewriting touches, or after any Extend.
 	Hits, Misses uint64
+	// Invalidations counts generation-bumping mutation events: AddFact
+	// calls that inserted a new tuple plus every Extend. Each one changed
+	// the keys of the cached answers touching the mutated relation(s) —
+	// duplicate inserts bump nothing and leave the cache warm.
+	Invalidations uint64
 }
 
-// CacheStats returns cumulative answer-cache hit/miss counts.
+// CacheStats returns cumulative answer-cache counters.
 func (n *Network) CacheStats() QueryCacheStats {
+	n.mu.RLock()
+	inv := n.invalidations
+	n.mu.RUnlock()
 	st := n.answers.Stats()
-	return QueryCacheStats{Hits: st.Hits, Misses: st.Misses}
+	return QueryCacheStats{Hits: st.Hits, Misses: st.Misses, Invalidations: inv}
 }
 
 // CertainAnswers computes certain answers directly via the chase oracle
