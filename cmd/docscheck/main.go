@@ -1,0 +1,213 @@
+// Command docscheck is the repository's documentation linter, run by the
+// CI docs job. It enforces three invariants over the whole tree:
+//
+//   - Every relative link in every Markdown file resolves to an existing
+//     file or directory.
+//   - Every #anchor in a Markdown link (in-file or cross-file) matches a
+//     heading in the target document, using GitHub's anchor derivation
+//     (lowercase, punctuation stripped, spaces to hyphens).
+//   - Every Go package has a package comment (the lightweight equivalent
+//     of revive's exported-documentation rule for this repository).
+//
+// Usage: docscheck [root]   (root defaults to the current directory)
+//
+// It prints one line per problem and exits nonzero if any were found, so
+// broken cross-references in ARCHITECTURE.md, PROTOCOL.md and the package
+// docs fail the build instead of rotting silently.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	problems := run(root)
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: ok")
+}
+
+// run lints the tree rooted at root and returns one message per problem.
+func run(root string) []string {
+	var problems []string
+	mds, gos, err := collect(root)
+	if err != nil {
+		return []string{fmt.Sprintf("docscheck: walking %s: %v", root, err)}
+	}
+	for _, md := range mds {
+		problems = append(problems, checkMarkdown(root, md)...)
+	}
+	problems = append(problems, checkPackageComments(gos)...)
+	return problems
+}
+
+// collect gathers the Markdown files and the directories containing Go
+// files under root, skipping VCS metadata and test fixtures.
+func collect(root string) (mds []string, goDirs []string, err error) {
+	seenGoDir := map[string]bool{}
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == ".git" || name == "testdata" || name == "node_modules" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		switch {
+		case strings.HasSuffix(name, ".md"):
+			mds = append(mds, path)
+		case strings.HasSuffix(name, ".go"):
+			dir := filepath.Dir(path)
+			if !seenGoDir[dir] {
+				seenGoDir[dir] = true
+				goDirs = append(goDirs, dir)
+			}
+		}
+		return nil
+	})
+	return mds, goDirs, err
+}
+
+// linkRe matches inline Markdown links [text](target). Images and
+// reference-style links are out of scope for this repository.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// checkMarkdown verifies every relative link (and anchor) in one file.
+func checkMarkdown(root, path string) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", path, err)}
+	}
+	var problems []string
+	for _, m := range linkRe.FindAllStringSubmatch(stripCodeBlocks(string(data)), -1) {
+		target := m[1]
+		if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+			continue // external; availability is not this linter's business
+		}
+		file, anchor, _ := strings.Cut(target, "#")
+		resolved := path
+		if file != "" {
+			resolved = filepath.Join(filepath.Dir(path), file)
+			if _, err := os.Stat(resolved); err != nil {
+				problems = append(problems, fmt.Sprintf("%s: broken link %q (%s does not exist)", path, target, resolved))
+				continue
+			}
+		}
+		if anchor == "" {
+			continue
+		}
+		if !strings.HasSuffix(resolved, ".md") {
+			continue // anchors into non-Markdown files (e.g. code) are not checked
+		}
+		ok, err := hasAnchor(resolved, anchor)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", path, err))
+		} else if !ok {
+			problems = append(problems, fmt.Sprintf("%s: broken anchor %q (no matching heading in %s)", path, target, resolved))
+		}
+	}
+	return problems
+}
+
+// stripCodeBlocks removes fenced code blocks so example links inside them
+// are not linted.
+func stripCodeBlocks(s string) string {
+	var out []string
+	in := false
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			in = !in
+			continue
+		}
+		if !in {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// hasAnchor reports whether the Markdown file declares a heading whose
+// GitHub-style anchor equals anchor.
+func hasAnchor(path, anchor string) (bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	for _, line := range strings.Split(stripCodeBlocks(string(data)), "\n") {
+		t := strings.TrimSpace(line)
+		if !strings.HasPrefix(t, "#") {
+			continue
+		}
+		heading := strings.TrimLeft(t, "#")
+		if len(heading) == len(t) || heading == "" || heading[0] != ' ' {
+			continue
+		}
+		if githubAnchor(strings.TrimSpace(heading)) == strings.ToLower(anchor) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// githubAnchor derives the anchor id GitHub assigns a heading: lowercase,
+// spaces and runs of hyphens/spaces to single context, punctuation dropped.
+func githubAnchor(heading string) string {
+	var sb strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-' || r == '_':
+			sb.WriteRune(r)
+		case r == ' ':
+			sb.WriteByte('-')
+		}
+	}
+	return sb.String()
+}
+
+// checkPackageComments parses every Go package directory and reports those
+// where no file carries a package doc comment.
+func checkPackageComments(dirs []string) []string {
+	var problems []string
+	for _, dir := range dirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", dir, err))
+			continue
+		}
+		for name, pkg := range pkgs {
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				problems = append(problems, fmt.Sprintf("%s: package %s has no package comment", dir, name))
+			}
+		}
+	}
+	return problems
+}

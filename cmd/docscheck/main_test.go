@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCleanTreePasses(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "README.md", "# Title\n\n## Deep Dive\n\nSee [guide](docs/guide.md#setup-steps) and [self](#deep-dive).\n")
+	write(t, dir, "docs/guide.md", "# Guide\n\n## Setup Steps\n\nBack to [readme](../README.md).\n")
+	write(t, dir, "pkg/pkg.go", "// Package pkg does things.\npackage pkg\n")
+	if problems := run(dir); len(problems) != 0 {
+		t.Fatalf("clean tree reported problems: %v", problems)
+	}
+}
+
+func TestBrokenLinkAndAnchorAndDoc(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "README.md", "[gone](missing.md) and [bad](#no-such-heading)\n\n# Real Heading\n")
+	write(t, dir, "pkg/pkg.go", "package pkg\n")
+	problems := run(dir)
+	joined := strings.Join(problems, "\n")
+	for _, want := range []string{"broken link", "broken anchor", "no package comment"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("missing %q in problems:\n%s", want, joined)
+		}
+	}
+	if len(problems) != 3 {
+		t.Fatalf("want 3 problems, got %d:\n%s", len(problems), joined)
+	}
+}
+
+func TestCodeBlocksAndExternalLinksIgnored(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "README.md", "# T\n\n[ext](https://example.com/x) stays.\n\n```\n[fake](not-a-file.md)\n```\n")
+	if problems := run(dir); len(problems) != 0 {
+		t.Fatalf("problems: %v", problems)
+	}
+}
+
+// TestRepoIsClean runs the linter over the actual repository: the docs CI
+// job must stay green from inside the test suite too.
+func TestRepoIsClean(t *testing.T) {
+	root := "../.."
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Skip("repo root not found")
+	}
+	if problems := run(root); len(problems) != 0 {
+		t.Fatalf("repository docs lint fails:\n%s", strings.Join(problems, "\n"))
+	}
+}

@@ -1,25 +1,31 @@
 // Package repro is a from-scratch Go reproduction of "Schema Mediation in
 // Peer Data Management Systems" (Halevy, Ives, Suciu, Tatarinov; ICDE
-// 2003) — the Piazza PDMS schema-mediation layer.
+// 2003) — the Piazza PDMS schema-mediation layer — grown into a
+// production-shaped distributed query system.
 //
 // The public API lives in package repro/pdms; the root package holds the
 // benchmark harness that regenerates the paper's evaluation (Figures 3 and
-// 4, the node-rate claim, and the Section 4.3 optimization ablations). See
-// README.md for the architecture overview, DESIGN.md for the system
-// inventory and per-experiment index, and EXPERIMENTS.md for the
-// paper-vs-measured record.
+// 4, the node-rate claim, and the Section 4.3 optimization ablations).
+// ARCHITECTURE.md at the repository root is the top-to-bottom guide to
+// every layer (mediator → reformulation → engine → wire → executor) with
+// per-layer dataflow diagrams and code pointers; the peer wire protocol is
+// specified normatively in internal/wire/PROTOCOL.md.
 //
 // Query execution — which the paper leaves out of scope — runs through the
-// indexed engine in internal/engine: lazily-built per-relation hash
-// indexes (one per probed bound-position set, maintained incrementally
-// from the relation's insert log), a greedy selectivity-ordered join
-// planner, and an LRU of compiled plans keyed by canonicalized query.
-// The naive evaluator in internal/rel remains as the differential-testing
-// oracle.
+// indexed engine in internal/engine over the sharded storage layer in
+// internal/rel: relations are hash-partitioned by first-column key (one
+// shard per CPU by default), scans and bound-key probe batches fan out
+// across shards over a bounded worker pool, per-shard hash indexes are
+// maintained incrementally from per-shard insert logs, and the greedy join
+// planner orders atoms by per-column distinct-value statistics
+// (HyperLogLog sketches maintained on insert) instead of a fixed
+// per-bound-argument discount. The naive evaluator in internal/rel remains
+// the differential-testing oracle, including sharded-versus-unsharded runs
+// over a randomized query corpus.
 //
 // Caching is two-level, both levels invalidated at per-relation
 // granularity by generation counters (each relation's monotonic insert
-// count):
+// count — with sharding, the fold of its per-shard counters):
 //
 //   - Local: pdms.Network caches query answers keyed by the canonical
 //     query, the spec generation, and the generation *vector* of exactly
@@ -38,10 +44,11 @@
 //     identical cross-peer query ships (near) zero rows and bytes.
 //
 // Distributed execution lives in internal/netpeer: peers serve stored
-// relations over TCP, and cross-peer rewritings run as bind-joins — the
-// executor ships the distinct join keys bound so far and the remote peer
-// probes its hash indexes, so only tuples that can join cross the wire.
-// UCQ disjuncts fan out over a worker pool on per-address connection
-// pools with idle health checks; pdms.Network.QueryVia plugs the mediator
-// into that executor.
+// relations over TCP (chunked streaming frames, O(chunk) memory per
+// response), and cross-peer rewritings run as streaming, adaptive,
+// pipelined bind-joins — the executor ships the distinct join keys bound
+// so far and the remote peer probes its per-shard hash indexes, so only
+// tuples that can join cross the wire. UCQ disjuncts fan out over a worker
+// pool on per-address connection pools with idle health checks;
+// pdms.Network.QueryVia plugs the mediator into that executor.
 package repro

@@ -62,3 +62,149 @@ func BenchmarkEngineUCQFanout(b *testing.B) {
 		}
 	})
 }
+
+// shardCountsUnderTest are the layouts the sharding benchmarks compare:
+// the unsharded baseline and the default (one shard per CPU). On a
+// GOMAXPROCS >= 4 machine the sharded scan target is a >= 2x speedup; at
+// GOMAXPROCS = 1 both layouts take the sequential path and must be within
+// noise of each other.
+func shardCountsUnderTest() []int {
+	counts := []int{1}
+	if n := rel.DefaultShards(); n > 1 {
+		counts = append(counts, n)
+	} else {
+		counts = append(counts, 4) // exercise the sharded layout anyway
+	}
+	return counts
+}
+
+// BenchmarkShardedScan: a scan-driven hash join — R and S have equal
+// cardinality (so the planner's tie-break scans R, the first body atom)
+// and each scanned R tuple probes S's index, with 1% of probes landing.
+// The opening 100k-row scan is the part that fans out across shards; the
+// per-tuple probe work below it is what the workers parallelize.
+func BenchmarkShardedScan(b *testing.B) {
+	const rows = 100000
+	q := lang.CQ{
+		Head: lang.NewAtom("q", lang.Var("x"), lang.Var("z")),
+		Body: []lang.Atom{
+			lang.NewAtom("R", lang.Var("x"), lang.Var("y")),
+			lang.NewAtom("S", lang.Var("y"), lang.Var("z")),
+		},
+	}
+	for _, shards := range shardCountsUnderTest() {
+		ins := rel.NewInstanceSharded(shards)
+		for i := 0; i < rows; i++ {
+			ins.MustAdd("R", fmt.Sprintf("k%07d", i), fmt.Sprintf("y%d", i))
+		}
+		for i := 0; i < rows; i++ {
+			// Only the top 1% of S's join keys exist in R.
+			ins.MustAdd("S", fmt.Sprintf("y%d", i+rows-rows/100), fmt.Sprintf("w%d", i))
+		}
+		e := New(ins)
+		if out, err := e.EvalCQ(q); err != nil || len(out) != rows/100 {
+			b.Fatalf("fixture: %d rows (%v)", len(out), err)
+		}
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.EvalCQ(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedProbe: a 20k-key ProbeByKeyBatch over a 200k-row
+// relation — the server-side bind-join substrate — fanned out across the
+// per-shard indexes.
+func BenchmarkShardedProbe(b *testing.B) {
+	const rows, nkeys = 200000, 20000
+	keys := make([][]string, nkeys)
+	for i := range keys {
+		keys[i] = []string{fmt.Sprintf("k%d", i*7%rows)}
+	}
+	for _, shards := range shardCountsUnderTest() {
+		ins := rel.NewInstanceSharded(shards)
+		for i := 0; i < rows; i++ {
+			ins.MustAdd("R", fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))
+		}
+		e := New(ins)
+		if out, err := e.ProbeByKeyBatch("R", []int{0}, keys); err != nil || len(out) != nkeys {
+			b.Fatalf("fixture: %d tuples (%v)", len(out), err)
+		}
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				n := 0
+				if err := e.ProbeByKeyBatchYield("R", []int{0}, keys, func(rel.Tuple) error {
+					n++
+					return nil
+				}); err != nil || n != nkeys {
+					b.Fatalf("n=%d err=%v", n, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlannerStats: two relations of equal cardinality whose join
+// columns differ only in distinct-value count. The uniform per-bound-arg
+// discount ties them and joins through the 50-rows-per-key relation first
+// (a 100k-row intermediate); the distinct-value model sees the
+// nearly-unique column and filters through it first (a 20-row
+// intermediate). Same answers, radically different work.
+func BenchmarkPlannerStats(b *testing.B) {
+	const (
+		aRows   = 2000
+		fanout  = 50
+		overlap = 20
+	)
+	ins := rel.NewInstance()
+	for i := 0; i < aRows; i++ {
+		ins.MustAdd("A", fmt.Sprintf("a%d", i), fmt.Sprintf("y%d", i))
+	}
+	for i := 0; i < aRows; i++ {
+		for j := 0; j < fanout; j++ {
+			ins.MustAdd("Fat", fmt.Sprintf("y%d", i), fmt.Sprintf("z%d", i*fanout+j))
+		}
+	}
+	for i := 0; i < aRows*fanout; i++ {
+		y := fmt.Sprintf("ly%d", i) // disjoint from A
+		if i < overlap {
+			y = fmt.Sprintf("y%d", i*100) // the few joinable values
+		}
+		ins.MustAdd("Lean", y, fmt.Sprintf("w%d", i))
+	}
+	q := lang.CQ{
+		Head: lang.NewAtom("q", lang.Var("x"), lang.Var("z"), lang.Var("w")),
+		Body: []lang.Atom{
+			lang.NewAtom("A", lang.Var("x"), lang.Var("y")),
+			lang.NewAtom("Fat", lang.Var("y"), lang.Var("z")),
+			lang.NewAtom("Lean", lang.Var("y"), lang.Var("w")),
+		},
+	}
+	stats := New(ins)
+	uniform := New(ins)
+	uniform.uniformCost = true
+	want, err := stats.EvalCQ(q)
+	if err != nil || len(want) != overlap*fanout {
+		b.Fatalf("fixture: %d rows (%v)", len(want), err)
+	}
+	if got, err := uniform.EvalCQ(q); err != nil || len(got) != len(want) {
+		b.Fatalf("uniform fixture: %d rows (%v)", len(got), err)
+	}
+	b.Run("stats", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := stats.EvalCQ(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("uniform", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := uniform.EvalCQ(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -2,7 +2,7 @@ package engine
 
 import (
 	"fmt"
-	"math"
+	"sync/atomic"
 
 	"repro/internal/lang"
 	"repro/internal/rel"
@@ -13,9 +13,10 @@ import (
 // any of its positions are bound at that point) or a full scan, with
 // comparison predicates attached to the earliest step that grounds them.
 // Variables live in a flat slot array instead of substitution maps. A plan
-// depends only on the query shape (plus cardinality estimates at compile
-// time, which affect ordering but never correctness), so plans are cached
-// and reused across evaluations and — via a shared PlanCache — engines.
+// depends only on the query shape (plus cardinality and distinct-value
+// estimates at compile time, which affect ordering but never correctness),
+// so plans are cached and reused across evaluations and — via a shared
+// PlanCache — engines.
 type Plan struct {
 	steps     []planStep
 	nslots    int
@@ -93,53 +94,92 @@ func (c compiledComp) eval(slots []string) bool {
 	return c.op.EvalConst(lang.Const(lv), lang.Const(rv))
 }
 
-// OrderBody returns an evaluation order for the body atoms under the
+// ColStats is the planner's per-relation statistics input: the relation's
+// cardinality and, when available, the approximate distinct-value count per
+// column (rel.Stats). A nil or short Distinct falls back to the uniform
+// per-bound-argument discount for the uncovered positions.
+type ColStats struct {
+	Card     int
+	Distinct []float64
+}
+
+// uniformSel is the fallback per-bound-position selectivity used when no
+// distinct-value statistic covers a column — the pre-statistics cost
+// model's fixed discount (one eighth per bound argument).
+const uniformSel = 1.0 / 8
+
+// OrderBodyStats returns an evaluation order for the body atoms under the
 // engine's greedy selectivity heuristic: repeatedly take the atom with the
-// lowest estimated cost (cardOf(pred)+1)/8^known, where known counts
-// constant arguments plus variables bound by earlier atoms (a bound
-// position narrows an index probe, so more bound arguments -> earlier).
-// forcePivot >= 0 pins that atom first (datalog semi-naive); -1 orders all
-// atoms greedily. Shared by compile and netpeer's cross-peer executor so
-// local and distributed join orders follow the same cost model.
-func OrderBody(body []lang.Atom, cardOf func(pred string) int, forcePivot int) []int {
+// lowest estimated result cardinality, where binding a position (by a
+// constant or a variable bound by an earlier atom) scales the atom's
+// cardinality by that column's selectivity — 1/distinct(column) when
+// statsOf supplies a distinct-value estimate for it, else the uniform 1/8
+// discount. A column with many distinct values therefore makes its atom a
+// sharply selective probe, and one with few distinct values no longer
+// masquerades as selective just because something is bound. forcePivot >= 0
+// pins that atom first (datalog semi-naive); -1 orders all atoms greedily.
+func OrderBodyStats(body []lang.Atom, statsOf func(pred string) ColStats, forcePivot int) []int {
 	bound := map[string]bool{}
 	var order []int
 	taken := make([]bool, len(body))
-	if forcePivot >= 0 {
-		order = append(order, forcePivot)
-		taken[forcePivot] = true
-		for _, t := range body[forcePivot].Args {
+	bind := func(i int) {
+		order = append(order, i)
+		taken[i] = true
+		for _, t := range body[i].Args {
 			if t.IsVar() {
 				bound[t.Name] = true
 			}
 		}
 	}
+	if forcePivot >= 0 {
+		bind(forcePivot)
+	}
+	stats := map[string]ColStats{}
+	statFor := func(pred string) ColStats {
+		if st, ok := stats[pred]; ok {
+			return st
+		}
+		st := statsOf(pred)
+		stats[pred] = st
+		return st
+	}
 	for len(order) < len(body) {
-		best, bestCost := -1, math.Inf(1)
+		best := -1
+		bestCost := 0.0
 		for i, a := range body {
 			if taken[i] {
 				continue
 			}
-			known := 0
-			for _, t := range a.Args {
-				if t.IsConst() || bound[t.Name] {
-					known++
+			st := statFor(a.Pred)
+			cost := float64(st.Card) + 1
+			for pos, t := range a.Args {
+				if !t.IsConst() && !bound[t.Name] {
+					continue
 				}
+				sel := uniformSel
+				if pos < len(st.Distinct) && st.Distinct[pos] >= 1 {
+					sel = 1 / st.Distinct[pos]
+				}
+				cost *= sel
 			}
-			cost := float64(cardOf(a.Pred)+1) / math.Pow(8, float64(known))
-			if cost < bestCost {
+			if best < 0 || cost < bestCost {
 				best, bestCost = i, cost
 			}
 		}
-		order = append(order, best)
-		taken[best] = true
-		for _, t := range body[best].Args {
-			if t.IsVar() {
-				bound[t.Name] = true
-			}
-		}
+		bind(best)
 	}
 	return order
+}
+
+// OrderBody is OrderBodyStats with cardinalities only: every bound position
+// gets the uniform discount. Kept as the shared cost model for callers that
+// have no column statistics (netpeer's cross-peer executor only sees the
+// cardinalities peers advertise), so local and distributed join orders
+// follow the same heuristic family.
+func OrderBody(body []lang.Atom, cardOf func(pred string) int, forcePivot int) []int {
+	return OrderBodyStats(body, func(pred string) ColStats {
+		return ColStats{Card: cardOf(pred)}
+	}, forcePivot)
 }
 
 // compile builds a plan for q. forcePivot >= 0 pins body atom forcePivot as
@@ -168,7 +208,12 @@ func (e *Engine) compile(q lang.CQ, forcePivot int) (*Plan, error) {
 		return s
 	}
 
-	order := OrderBody(q.Body, e.card, forcePivot)
+	var order []int
+	if e.uniformCost {
+		order = OrderBody(q.Body, e.card, forcePivot)
+	} else {
+		order = OrderBodyStats(q.Body, e.colStats, forcePivot)
+	}
 
 	// Lower each atom to a step.
 	boundSlots := map[string]bool{} // vars bound by *earlier* steps
@@ -264,96 +309,212 @@ func compileComp(c lang.Comparison, slotOf map[string]int) compiledComp {
 	return compiledComp{op: c.Op, l: part(c.L), r: part(c.R)}
 }
 
+// runCtx is the per-evaluation (per-worker, on the parallel path) state of
+// one plan execution: the slot array, reusable key and probe-merge buffers,
+// and an optional cancellation flag shared with sibling workers.
+type runCtx struct {
+	e     *Engine
+	p     *Plan
+	delta *rel.Instance
+	yield func(slots []string) error
+	slots []string
+	key   []byte
+	vals  []string
+	// bufs holds one probe-merge scratch buffer per plan step: step i's
+	// iteration over a merged probe result finishes before any other probe
+	// at depth i runs in the same context, so per-depth reuse is safe.
+	bufs [][]rel.Tuple
+	// stop, when non-nil, is the shared cancellation flag of a parallel
+	// scan; checked per tuple so sibling workers drain quickly after an
+	// error or early stop.
+	stop *atomic.Bool
+}
+
+func newRunCtx(e *Engine, p *Plan, delta *rel.Instance, yield func([]string) error) *runCtx {
+	return &runCtx{
+		e:     e,
+		p:     p,
+		delta: delta,
+		yield: yield,
+		slots: make([]string, p.nslots),
+		bufs:  make([][]rel.Tuple, len(p.steps)),
+	}
+}
+
+// step executes plan step i and everything below it.
+func (rc *runCtx) step(i int) error {
+	p := rc.p
+	if i == len(p.steps) {
+		if len(p.lateComps) > 0 {
+			return fmt.Errorf("engine: comparison %s not bound by body", p.lateComps[0])
+		}
+		return rc.yield(rc.slots)
+	}
+	st := &p.steps[i]
+	if st.delta {
+		r := rc.delta.Relation(st.pred)
+		if r == nil {
+			return nil
+		}
+		if r.Arity != st.arity {
+			return fmt.Errorf("engine: atom %s/%d, delta relation has arity %d", st.pred, st.arity, r.Arity)
+		}
+		rc.e.scans.Add(1)
+		return rc.scanShards(i, st, r)
+	}
+	r := rc.e.ins.Relation(st.pred)
+	if r == nil {
+		return nil
+	}
+	if r.Arity != st.arity {
+		return fmt.Errorf("engine: atom %s/%d, relation has arity %d", st.pred, st.arity, r.Arity)
+	}
+	if len(st.keyCols) == 0 {
+		rc.e.scans.Add(1)
+		return rc.scanShards(i, st, r)
+	}
+	// Probe path: resolve the key parts, look up the per-shard indexes.
+	if cap(rc.vals) < len(st.keyParts) {
+		rc.vals = make([]string, len(st.keyParts))
+	}
+	vals := rc.vals[:len(st.keyParts)]
+	for j, part := range st.keyParts {
+		if part.slot >= 0 {
+			vals[j] = rc.slots[part.slot]
+		} else {
+			vals[j] = part.constVal
+		}
+	}
+	rc.e.probes.Add(1)
+	tuples, scratch := rc.e.probe(r, st.keyCols, vals, &rc.key, rc.bufs[i])
+	rc.bufs[i] = scratch
+	return rc.feed(i, st, tuples)
+}
+
+// scanShards runs step i as a full scan, shard by shard (the per-shard
+// logs are distinct and cover the relation).
+func (rc *runCtx) scanShards(i int, st *planStep, r *rel.Relation) error {
+	for s := 0; s < r.NumShards(); s++ {
+		if err := rc.feed(i, st, r.ShardAddedSince(s, 0)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// feed applies step i's checks and binds to each candidate tuple and
+// recurses into step i+1 for survivors.
+func (rc *runCtx) feed(i int, st *planStep, tuples []rel.Tuple) error {
+next:
+	for _, tup := range tuples {
+		if rc.stop != nil && rc.stop.Load() {
+			return errCanceled
+		}
+		for _, cc := range st.checkConsts {
+			if tup[cc.pos] != cc.val {
+				continue next
+			}
+		}
+		for _, c := range st.checkSlots {
+			if tup[c.pos] != rc.slots[c.slot] {
+				continue next
+			}
+		}
+		for _, c := range st.checkPos {
+			if tup[c.pos] != tup[c.first] {
+				continue next
+			}
+		}
+		for _, b := range st.binds {
+			rc.slots[b.slot] = tup[b.pos]
+		}
+		for _, c := range st.comps {
+			if !c.eval(rc.slots) {
+				continue next
+			}
+		}
+		if err := rc.step(i + 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // run executes the plan, invoking yield with the slot array for every body
 // match. delta supplies the scan source for delta steps (datalog); nil
 // otherwise. The slot array is reused across yields — callers must copy
-// what they keep.
+// what they keep. When the plan opens with a full scan of a large sharded
+// relation, the scan fans out across shards over a bounded worker pool
+// (yields serialized, match order unspecified); otherwise execution is
+// sequential and deterministic.
 func (e *Engine) run(p *Plan, delta *rel.Instance, yield func(slots []string) error) error {
 	for _, c := range p.preComps {
 		if !c.eval(nil) {
 			return nil
 		}
 	}
-	slots := make([]string, p.nslots)
-	var key []byte
-	var rec func(i int) error
-	rec = func(i int) error {
-		if i == len(p.steps) {
-			if len(p.lateComps) > 0 {
-				return fmt.Errorf("engine: comparison %s not bound by body", p.lateComps[0])
-			}
-			return yield(slots)
-		}
-		st := &p.steps[i]
-		var tuples []rel.Tuple
-		if st.delta {
-			r := delta.Relation(st.pred)
-			if r == nil {
-				return nil
-			}
-			if r.Arity != st.arity {
-				return fmt.Errorf("engine: atom %s/%d, delta relation has arity %d", st.pred, st.arity, r.Arity)
-			}
-			e.scans.Add(1)
-			tuples = r.AddedSince(0)
-		} else {
-			r := e.ins.Relation(st.pred)
-			if r == nil {
-				return nil
-			}
-			if r.Arity != st.arity {
-				return fmt.Errorf("engine: atom %s/%d, relation has arity %d", st.pred, st.arity, r.Arity)
-			}
-			if len(st.keyCols) > 0 {
-				key = key[:0]
-				for _, part := range st.keyParts {
-					v := part.constVal
-					if part.slot >= 0 {
-						v = slots[part.slot]
-					}
-					if len(st.keyParts) == 1 {
-						key = append(key, v...)
-					} else {
-						key = AppendKeyPart(key, v)
-					}
-				}
-				e.probes.Add(1)
-				tuples = e.probe(r, st.keyCols, string(key))
-			} else {
-				e.scans.Add(1)
-				tuples = r.AddedSince(0)
-			}
-		}
-	next:
-		for _, tup := range tuples {
-			for _, cc := range st.checkConsts {
-				if tup[cc.pos] != cc.val {
-					continue next
-				}
-			}
-			for _, c := range st.checkSlots {
-				if tup[c.pos] != slots[c.slot] {
-					continue next
-				}
-			}
-			for _, c := range st.checkPos {
-				if tup[c.pos] != tup[c.first] {
-					continue next
-				}
-			}
-			for _, b := range st.binds {
-				slots[b.slot] = tup[b.pos]
-			}
-			for _, c := range st.comps {
-				if !c.eval(slots) {
-					continue next
-				}
-			}
-			if err := rec(i + 1); err != nil {
-				return err
-			}
-		}
-		return nil
+	if r, workers := e.parallelScanTarget(p); r != nil {
+		return e.runParallel(p, delta, r, workers, yield)
 	}
-	return rec(0)
+	return newRunCtx(e, p, delta, yield).step(0)
+}
+
+// parallelScanTarget reports whether the plan's first step is a full scan
+// eligible for shard fan-out, returning the scanned relation and the worker
+// count (nil/0 when the sequential path should run: probe or delta first
+// steps, unsharded or small relations, single-worker configurations).
+func (e *Engine) parallelScanTarget(p *Plan) (*rel.Relation, int) {
+	if len(p.steps) == 0 {
+		return nil, 0
+	}
+	st := &p.steps[0]
+	if st.delta || len(st.keyCols) > 0 {
+		return nil, 0
+	}
+	r := e.ins.Relation(st.pred)
+	if r == nil || r.Arity != st.arity || r.NumShards() <= 1 {
+		return nil, 0
+	}
+	workers := min(scanWorkers(), r.NumShards())
+	// Version (a loop of atomic loads) equals Len under set semantics —
+	// the generation counts exactly the distinct inserts — and skips the
+	// per-shard mutex round-trips Len would pay on this per-query path.
+	if workers <= 1 || r.Version() < uint64(parallelScanMinRows) {
+		return nil, 0
+	}
+	return r, workers
+}
+
+// runParallel executes the plan with its opening scan fanned out across
+// r's shards: each worker owns a private runCtx (slots, buffers) and
+// drains whole shards, funneling matches through the fan-out's serialized
+// yield. The first error (or ErrStop) recorded wins and flips the shared
+// stop flag, which every worker polls per tuple; run's callers apply the
+// usual ErrStop mapping, exactly as on the sequential path.
+func (e *Engine) runParallel(p *Plan, delta *rel.Instance, r *rel.Relation, workers int, yield func(slots []string) error) error {
+	e.scans.Add(1)
+	e.parallelScans.Add(1)
+	f := &fanOut{}
+	syield := func(slots []string) error {
+		f.yieldMu.Lock()
+		defer f.yieldMu.Unlock()
+		if f.stop.Load() {
+			return errCanceled
+		}
+		return yield(slots)
+	}
+	return f.dispatch(workers, r.NumShards(), func(queue <-chan int) {
+		rc := newRunCtx(e, p, delta, syield)
+		rc.stop = &f.stop
+		st := &p.steps[0]
+		for s := range queue {
+			if f.stop.Load() {
+				continue
+			}
+			err := rc.feed(0, st, r.ShardAddedSince(s, 0))
+			if err != nil && err != errCanceled {
+				f.fail(err)
+			}
+		}
+	})
 }

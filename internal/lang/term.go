@@ -89,10 +89,34 @@ func isNumericLexeme(s string) bool {
 	return i > start && i == len(s)
 }
 
+// maybeNumeric cheaply rejects values that cannot possibly parse as
+// floats, so comparison-heavy scans never pay strconv.ParseFloat's
+// allocated syntax error for plainly textual values ("o00123456" vs a
+// cutoff used to allocate twice per scanned tuple). The accepted first
+// bytes cover every ParseFloat grammar: sign, digit, dot, and the
+// case-insensitive inf/NaN spellings.
+func maybeNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	switch c := s[0]; {
+	case c >= '0' && c <= '9':
+		return true
+	case c == '+' || c == '-' || c == '.':
+		return true
+	case c == 'i' || c == 'I' || c == 'n' || c == 'N':
+		return true // inf / Infinity / NaN
+	}
+	return false
+}
+
 // CompareConst orders two constant lexical values: numerically when both
 // parse as floats, lexicographically otherwise. It returns -1, 0, or +1.
 // Both terms must be constants.
 func CompareConst(a, b Term) int {
+	if !maybeNumeric(a.Name) || !maybeNumeric(b.Name) {
+		return strings.Compare(a.Name, b.Name)
+	}
 	fa, ea := strconv.ParseFloat(a.Name, 64)
 	fb, eb := strconv.ParseFloat(b.Name, 64)
 	if ea == nil && eb == nil {

@@ -3,6 +3,8 @@ package lang
 import (
 	"math/rand"
 	"reflect"
+	"strconv"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -186,5 +188,42 @@ func TestAtomVarsOrderStable(t *testing.T) {
 	want := []Term{Var("b"), Var("a"), Var("c")}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("Vars order = %v, want %v", got, want)
+	}
+}
+
+// TestCompareConstFastPathSemantics pins CompareConst against the
+// reference two-ParseFloat implementation: the maybeNumeric fast path
+// (added so comparison-heavy scans stop allocating strconv syntax errors
+// for plainly textual values) must be semantically invisible, including
+// for ParseFloat's inf/NaN spellings.
+func TestCompareConstFastPathSemantics(t *testing.T) {
+	ref := func(a, b string) int {
+		fa, ea := strconv.ParseFloat(a, 64)
+		fb, eb := strconv.ParseFloat(b, 64)
+		if ea == nil && eb == nil {
+			switch {
+			case fa < fb:
+				return -1
+			case fa > fb:
+				return 1
+			default:
+				return 0
+			}
+		}
+		return strings.Compare(a, b)
+	}
+	vals := []string{
+		"", "0", "9", "10", "-3", "+4", ".5", "1e5", "o00012345", "region7",
+		"inf", "Inf", "Infinity", "-inf", "NaN", "nan", "n3", "n10",
+		"abc", "1.2.3", "i", "N", "0x1p2",
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			got := CompareConst(Const(a), Const(b))
+			want := ref(a, b)
+			if (got < 0) != (want < 0) || (got > 0) != (want > 0) {
+				t.Fatalf("CompareConst(%q, %q) = %d, reference %d", a, b, got, want)
+			}
+		}
 	}
 }

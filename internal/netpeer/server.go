@@ -3,7 +3,8 @@
 // JSON/TCP protocol (package wire), and an Executor evaluates reformulated
 // unions of conjunctive queries across the network.
 //
-// The protocol has six ops (see package wire for the JSON envelopes):
+// The protocol has six ops (see package wire for the JSON envelopes and
+// wire/PROTOCOL.md for the normative specification):
 //
 //   - "catalog": list the stored relations served by this peer together
 //     with their current cardinalities and per-relation generations.
@@ -393,13 +394,15 @@ func (s *Server) handleStream(req wire.Request, send func(wire.Response) error) 
 		// relation state.
 		return send(wire.Response{})
 	case "scan":
+		// StreamScan walks the per-shard insert logs directly: no sort, no
+		// sorted-view materialization, O(chunk) memory end to end. Row order
+		// is per-shard insertion order (unspecified globally).
 		c := &chunker{send: send}
-		if r := s.data.Relation(req.Pred); r != nil {
-			for _, t := range r.Tuples() {
-				if err := c.row(t); err != nil {
-					return c.sendErr
-				}
+		if err := s.eng.StreamScan(req.Pred, c.row); err != nil {
+			if c.sendErr != nil {
+				return c.sendErr
 			}
+			return send(wire.Response{Error: err.Error()})
 		}
 		return c.finish(metaOf(req.Pred))
 	case "eval":

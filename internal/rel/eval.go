@@ -124,7 +124,10 @@ func EvalDatalog(rules []lang.CQ, base *Instance) (*Instance, error) {
 	// delta holds the facts derived in the previous round.
 	delta := base.Clone()
 	for round := 0; ; round++ {
-		next := NewInstance()
+		// Single-shard: per-round deltas are scanned whole and their
+		// stats never read, so the sharded layout's routing and sketch
+		// work would be pure overhead (mirrors engine.EvalDatalog).
+		next := NewInstanceSharded(1)
 		for _, rule := range rules {
 			// Semi-naive: at least one body atom must match the delta.
 			for pivot := range rule.Body {

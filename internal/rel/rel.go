@@ -1,18 +1,12 @@
-// Package rel is the relational execution substrate: instances of stored
-// relations, set-semantics evaluation of conjunctive queries and unions of
-// conjunctive queries, and semi-naive datalog evaluation.
-//
-// The paper defers query execution ("the precise method of evaluating Q' is
-// beyond the scope of this paper"); this package supplies it so that
-// reformulated queries can actually be answered over stored relations, and
-// so the chase-based certain-answer oracle has an evaluator to run on.
 package rel
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Tuple is a row of constant values.
@@ -37,91 +31,244 @@ func (t Tuple) Equal(u Tuple) bool {
 	return true
 }
 
-// Relation is a named set of tuples of fixed arity. Mutation requires
-// external synchronization (rel.Instance is single-writer); the sorted-view
-// cache below is internally synchronized so concurrent readers are safe.
+// maxShards caps the shard count of one relation; beyond this, per-shard
+// fixed costs (index maps, sketch registers, worker scheduling) outweigh any
+// remaining parallelism.
+const maxShards = 256
+
+// DefaultShards is the shard count NewRelation and NewInstance use: one
+// shard per schedulable CPU (runtime.GOMAXPROCS), so parallel scans can keep
+// every core busy, clamped to [1, 256]. A single-CPU process therefore gets
+// the unsharded (N=1) layout automatically.
+func DefaultShards() int {
+	return clampShards(runtime.GOMAXPROCS(0))
+}
+
+func clampShards(n int) int {
+	if n < 1 {
+		return 1
+	}
+	if n > maxShards {
+		return maxShards
+	}
+	return n
+}
+
+// fnv64a is the FNV-1a hash shards and distinct-value sketches share.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// ShardOf returns the shard index (in [0, n)) that a first-column value v
+// routes to under n-way hash partitioning. Exported so the engine can route
+// probes whose bound-position set includes column 0 to the single shard
+// that can hold matches; it must stay in lockstep with Insert's placement.
+func ShardOf(v string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(fnv64a(v) % uint64(n))
+}
+
+// shard is one hash partition of a relation: its own tuple set, append-only
+// insert log, monotonic generation counter and per-column distinct-value
+// sketches, all guarded by the shard's own mutex so inserts and index
+// catch-ups on different shards never contend.
+type shard struct {
+	mu     sync.Mutex
+	tuples map[string]Tuple
+	log    []Tuple
+	// gen counts this shard's inserts (== len(log)). Atomic so generation
+	// reads (cache keys, piggybacks) never take the shard lock.
+	gen atomic.Uint64
+	// distinct holds one sketch per column, updated on every insert.
+	distinct []sketch
+}
+
+// Relation is a named set of tuples of fixed arity, hash-partitioned over
+// NumShards() shards by the first column's value. Insert, Contains, Len,
+// Tuples and the per-shard accessors are individually safe for concurrent
+// use (each shard self-synchronizes); a reader that needs one atomic
+// point-in-time view across inserts still requires external synchronization,
+// which is what pdms.Network's and netpeer.Server's locks provide.
 type Relation struct {
 	Name   string
 	Arity  int
-	tuples map[string]Tuple
-	// sortedMu guards sorted, which caches the deterministic tuple order
-	// and is invalidated on insert, and log, the append-only insertion
-	// history that engine indexes consume incrementally.
-	sortedMu sync.Mutex
-	sorted   []Tuple
-	log      []Tuple
+	shards []*shard
+
+	// sortedMu guards the cached deterministic (sorted) tuple order; the
+	// cache is tagged with the Version it was built at and rebuilt when the
+	// relation has grown past it.
+	sortedMu  sync.Mutex
+	sorted    []Tuple
+	sortedVer uint64
 }
 
-// NewRelation creates an empty relation.
+// NewRelation creates an empty relation with DefaultShards() shards.
 func NewRelation(name string, arity int) *Relation {
-	return &Relation{Name: name, Arity: arity, tuples: map[string]Tuple{}}
+	return NewRelationSharded(name, arity, 0)
+}
+
+// NewRelationSharded creates an empty relation with n hash partitions
+// (n <= 0 selects DefaultShards(); n is clamped to at most 256). n = 1
+// reproduces the unsharded layout: one tuple set, one log, one generation
+// counter.
+func NewRelationSharded(name string, arity, n int) *Relation {
+	if n <= 0 {
+		n = DefaultShards()
+	}
+	n = clampShards(n)
+	r := &Relation{Name: name, Arity: arity, shards: make([]*shard, n)}
+	for i := range r.shards {
+		r.shards[i] = &shard{tuples: map[string]Tuple{}, distinct: make([]sketch, arity)}
+	}
+	return r
+}
+
+// NumShards returns the relation's shard count (fixed at creation).
+func (r *Relation) NumShards() int { return len(r.shards) }
+
+// ShardFor returns the shard index a tuple whose first column is v lives in.
+func (r *Relation) ShardFor(v string) int { return ShardOf(v, len(r.shards)) }
+
+func (r *Relation) shardIdx(t Tuple) int {
+	if len(r.shards) == 1 || len(t) == 0 {
+		return 0
+	}
+	return ShardOf(t[0], len(r.shards))
 }
 
 // Insert adds a tuple (set semantics). It reports whether the tuple was new
-// and returns an error on arity mismatch.
+// and returns an error on arity mismatch. Inserts to different shards
+// proceed in parallel; the insert also updates the shard's per-column
+// distinct-value sketches and bumps its generation counter.
 func (r *Relation) Insert(t Tuple) (bool, error) {
 	if len(t) != r.Arity {
 		return false, fmt.Errorf("rel: %s arity %d, tuple %v has %d values", r.Name, r.Arity, t, len(t))
 	}
+	// Hash the first column once: it both routes the tuple to its shard
+	// and feeds column 0's distinct sketch.
+	var h0 uint64
+	si := 0
+	if len(t) > 0 {
+		h0 = fnv64a(t[0])
+		if len(r.shards) > 1 {
+			si = int(h0 % uint64(len(r.shards)))
+		}
+	}
+	s := r.shards[si]
 	k := t.Key()
-	if _, ok := r.tuples[k]; ok {
+	s.mu.Lock()
+	if _, ok := s.tuples[k]; ok {
+		s.mu.Unlock()
 		return false, nil
 	}
 	cp := make(Tuple, len(t))
 	copy(cp, t)
-	r.tuples[k] = cp
-	r.sortedMu.Lock()
-	r.sorted = nil
-	r.log = append(r.log, cp)
-	r.sortedMu.Unlock()
+	s.tuples[k] = cp
+	s.log = append(s.log, cp)
+	for i, v := range cp {
+		h := h0
+		if i > 0 {
+			h = fnv64a(v)
+		}
+		s.distinct[i].add(h)
+	}
+	s.gen.Add(1)
+	s.mu.Unlock()
 	return true, nil
 }
 
-// Version returns the number of inserts so far. Together with AddedSince it
-// lets derived structures (hash indexes, materialized views) catch up
-// incrementally instead of rebuilding: tuples are never deleted, so the
-// suffix log[v:] is exactly what changed since version v.
+// Version returns the number of inserts so far: the fold (sum) of the
+// per-shard generation counters, so it is exactly the pre-sharding single
+// counter — monotonic, bumped once per new tuple, never by duplicates.
+// Cache keys and the netpeer gens piggyback are built from this value; the
+// per-shard vector behind it is exposed by ShardVersion for derived
+// structures (engine indexes) that catch up shard by shard.
 func (r *Relation) Version() uint64 {
-	r.sortedMu.Lock()
-	defer r.sortedMu.Unlock()
-	return uint64(len(r.log))
+	var v uint64
+	for _, s := range r.shards {
+		v += s.gen.Load()
+	}
+	return v
 }
 
-// AddedSince returns the tuples inserted after version v, in insertion
-// order. Callers must not mutate the result. AddedSince(0) is every tuple
-// and, unlike Tuples, never pays a sort.
-func (r *Relation) AddedSince(v uint64) []Tuple {
-	r.sortedMu.Lock()
-	defer r.sortedMu.Unlock()
-	if v > uint64(len(r.log)) {
+// ShardVersion returns shard s's generation: the number of inserts it has
+// absorbed. Together with ShardAddedSince it lets derived structures (hash
+// indexes, materialized views) catch up incrementally per shard: tuples are
+// never deleted, so shard s's log suffix log[v:] is exactly what changed in
+// that shard since its version v.
+func (r *Relation) ShardVersion(s int) uint64 { return r.shards[s].gen.Load() }
+
+// ShardAddedSince returns the tuples inserted into shard s after its
+// version v, in that shard's insertion order. Callers must not mutate the
+// result. ShardAddedSince(s, 0) enumerates the whole shard without paying a
+// sort; concatenated over all shards it enumerates the whole relation
+// (distinct by construction, in no particular global order).
+func (r *Relation) ShardAddedSince(s int, v uint64) []Tuple {
+	sh := r.shards[s]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if v > uint64(len(sh.log)) {
 		return nil
 	}
-	return r.log[v:]
+	return sh.log[v:]
 }
 
-// Contains reports tuple membership.
+// ShardLen returns the number of tuples in shard s (skew observability).
+func (r *Relation) ShardLen(s int) int {
+	sh := r.shards[s]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return len(sh.tuples)
+}
+
+// Contains reports tuple membership (routed to the owning shard).
 func (r *Relation) Contains(t Tuple) bool {
-	_, ok := r.tuples[t.Key()]
+	s := r.shards[r.shardIdx(t)]
+	s.mu.Lock()
+	_, ok := s.tuples[t.Key()]
+	s.mu.Unlock()
 	return ok
 }
 
 // Len returns the cardinality.
-func (r *Relation) Len() int { return len(r.tuples) }
+func (r *Relation) Len() int {
+	n := 0
+	for _, s := range r.shards {
+		s.mu.Lock()
+		n += len(s.tuples)
+		s.mu.Unlock()
+	}
+	return n
+}
 
-// Tuples returns the tuples in deterministic (sorted) order. The result is
-// cached and shared: callers must not mutate it.
+// Tuples returns the tuples in deterministic (sorted) order, gathered
+// across shards. The result is cached per Version and shared: callers must
+// not mutate it.
 func (r *Relation) Tuples() []Tuple {
 	r.sortedMu.Lock()
 	defer r.sortedMu.Unlock()
-	if r.sorted == nil {
-		out := make([]Tuple, 0, len(r.tuples))
-		for _, t := range r.tuples {
-			out = append(out, t)
-		}
-		sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
-		r.sorted = out
+	// Read the version before snapshotting: a cache built here can only
+	// ever hold tuples beyond v, never miss one at v, so a stale entry is
+	// impossible (any extra tuple implies a later Version() > v, which
+	// forces a rebuild).
+	v := r.Version()
+	if r.sorted != nil && r.sortedVer == v {
+		return r.sorted
 	}
-	return r.sorted
+	var out []Tuple
+	for s := range r.shards {
+		out = append(out, r.ShardAddedSince(s, 0)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	r.sorted, r.sortedVer = out, v
+	return out
 }
 
 // DistinctSorted returns the distinct union of the given tuple groups in
@@ -143,27 +290,72 @@ func DistinctSorted(groups ...[]Tuple) []Tuple {
 }
 
 // Instance maps predicate names to relations. The zero value is unusable;
-// use NewInstance.
+// use NewInstance. Relations created on first Add inherit the instance's
+// shard count.
 type Instance struct {
 	rels map[string]*Relation
+	// nshards is the shard count for relations this instance creates
+	// (0 = DefaultShards()).
+	nshards int
 }
 
-// NewInstance returns an empty instance.
+// NewInstance returns an empty instance whose relations use DefaultShards()
+// hash partitions.
 func NewInstance() *Instance {
-	return &Instance{rels: map[string]*Relation{}}
+	return NewInstanceSharded(0)
 }
 
-// Clone returns a deep copy of the instance.
+// NewInstanceSharded returns an empty instance whose relations are created
+// with n hash partitions (n <= 0 selects DefaultShards(); 1 reproduces the
+// unsharded layout).
+func NewInstanceSharded(n int) *Instance {
+	return &Instance{rels: map[string]*Relation{}, nshards: n}
+}
+
+// Clone returns a deep copy of the instance, preserving every relation's
+// shard layout, per-shard logs and generation counters, and statistics
+// sketches (so generation-keyed caches and planner estimates carry over).
 func (ins *Instance) Clone() *Instance {
-	out := NewInstance()
+	out := NewInstanceSharded(ins.nshards)
 	for name, r := range ins.rels {
-		nr := NewRelation(name, r.Arity)
-		for k, t := range r.tuples {
-			nr.tuples[k] = t
+		nr := NewRelationSharded(name, r.Arity, r.NumShards())
+		for i, s := range r.shards {
+			ns := nr.shards[i]
+			s.mu.Lock()
+			for k, t := range s.tuples {
+				ns.tuples[k] = t
+			}
+			// Full-slice expression: later appends to either log must not
+			// share backing storage.
+			ns.log = s.log[:len(s.log):len(s.log)]
+			ns.gen.Store(s.gen.Load())
+			for c := range s.distinct {
+				ns.distinct[c] = s.distinct[c].clone()
+			}
+			s.mu.Unlock()
 		}
-		// Full-slice expression: later appends to either log must not
-		// share backing storage.
-		nr.log = r.log[:len(r.log):len(r.log)]
+		out.rels[name] = nr
+	}
+	return out
+}
+
+// Reshard returns a copy of ins whose relations are repartitioned over n
+// shards (n <= 0 selects DefaultShards()). Tuple contents are preserved;
+// per-shard logs, generations and sketches are rebuilt by reinsertion, so
+// the copy starts a fresh generation history.
+func Reshard(ins *Instance, n int) *Instance {
+	out := NewInstanceSharded(n)
+	for _, name := range ins.Relations() {
+		r := ins.rels[name]
+		nr := NewRelationSharded(name, r.Arity, n)
+		for s := range r.shards {
+			for _, t := range r.ShardAddedSince(s, 0) {
+				if _, err := nr.Insert(t); err != nil {
+					// Arity is preserved by construction; unreachable.
+					panic(err)
+				}
+			}
+		}
 		out.rels[name] = nr
 	}
 	return out
@@ -183,11 +375,12 @@ func (ins *Instance) Relations() []string {
 }
 
 // Gen returns the per-relation generation of pred: the number of inserts
-// it has absorbed (Relation.Version), or 0 when the relation is absent. A
-// relation that exists but holds no tuples is indistinguishable from an
-// absent one, which is sound for generation keying: both denote the same
-// (empty) contents. Callers key caches by vectors of these counters so a
-// mutation of one relation invalidates only entries that touch it.
+// it has absorbed (Relation.Version, the fold of the per-shard counters),
+// or 0 when the relation is absent. A relation that exists but holds no
+// tuples is indistinguishable from an absent one, which is sound for
+// generation keying: both denote the same (empty) contents. Callers key
+// caches by vectors of these counters so a mutation of one relation
+// invalidates only entries that touch it.
 func (ins *Instance) Gen(pred string) uint64 {
 	if r := ins.rels[pred]; r != nil {
 		return r.Version()
@@ -195,12 +388,14 @@ func (ins *Instance) Gen(pred string) uint64 {
 	return 0
 }
 
-// Add inserts a tuple into pred, creating the relation on first use. It
-// reports whether the tuple was new.
+// Add inserts a tuple into pred, creating the relation on first use (with
+// the instance's shard count). It reports whether the tuple was new.
+// Creating a relation mutates the instance's map: like all instance-level
+// mutation it requires external synchronization against concurrent readers.
 func (ins *Instance) Add(pred string, t Tuple) (bool, error) {
 	r, ok := ins.rels[pred]
 	if !ok {
-		r = NewRelation(pred, len(t))
+		r = NewRelationSharded(pred, len(t), ins.nshards)
 		ins.rels[pred] = r
 	}
 	return r.Insert(t)
@@ -218,7 +413,7 @@ func (ins *Instance) MustAdd(pred string, vals ...string) {
 func (ins *Instance) Size() int {
 	n := 0
 	for _, r := range ins.rels {
-		n += len(r.tuples)
+		n += r.Len()
 	}
 	return n
 }

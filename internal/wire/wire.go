@@ -47,6 +47,11 @@
 // pipeline: a client may write bind request i+1 while the frames of
 // request i are still streaming back; the server answers strictly in
 // request order, so frames never interleave across requests.
+//
+// PROTOCOL.md in this directory is the normative specification: frame
+// layout, per-op request/response contracts, error-frame and streaming
+// semantics, the metadata piggyback, size limits and the compatibility
+// rules. This package comment is the summary; the spec wins on conflict.
 package wire
 
 import (

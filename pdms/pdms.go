@@ -97,6 +97,11 @@ type Options struct {
 	DisablePriority bool
 	// KeepRedundant keeps rewritings subsumed by others.
 	KeepRedundant bool
+	// Shards is the hash-partition count for stored relations (0 = one
+	// shard per CPU, rel.DefaultShards; 1 = the unsharded layout). Sharded
+	// relations let the engine fan scans and probes out across a bounded
+	// worker pool; answers are identical for every setting.
+	Shards int
 }
 
 func (o Options) core() core.Options {
@@ -112,7 +117,7 @@ func (o Options) core() core.Options {
 
 // New returns an empty network with the given options.
 func New(opts Options) *Network {
-	return newNetwork(ppl.New(), rel.NewInstance(), opts)
+	return newNetwork(ppl.New(), rel.NewInstanceSharded(opts.Shards), opts)
 }
 
 // Load parses a PPL specification (schema declarations, mappings, storage
@@ -127,7 +132,14 @@ func LoadWithOptions(src string, opts Options) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newNetwork(res.PDMS, res.Data, opts), nil
+	data := res.Data
+	if opts.Shards > 0 && opts.Shards != rel.DefaultShards() {
+		// The parser loads into a default-sharded instance; repartition
+		// only when the caller asked for a different layout (a one-time
+		// O(rows) load cost, pointless when the counts already match).
+		data = rel.Reshard(data, opts.Shards)
+	}
+	return newNetwork(res.PDMS, data, opts), nil
 }
 
 // Extend parses additional PPL statements into an existing network — the
