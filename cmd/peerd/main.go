@@ -7,57 +7,142 @@
 //
 //	peerd -addr 127.0.0.1:7410 spec.ppl
 //
-// peerd serves until interrupted.
+// With -http an operational endpoint is served alongside the peer
+// protocol:
+//
+//	/metrics        unified counter/gauge/histogram snapshot, JSON by
+//	                default, Prometheus text with ?format=prometheus
+//	/debug/traces   recent request trace trees (?n= caps the count,
+//	                ?sample= adjusts the 1-in-N sampling knob)
+//	/debug/pprof/   the standard runtime profiles
+//
+// Diagnostics are structured log records (slog), text by default and JSON
+// with -log-format json. peerd serves until interrupted.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"repro/internal/netpeer"
+	"repro/internal/obs"
 	"repro/internal/parser"
 )
 
+// traceRingSize bounds the finished request traces kept for /debug/traces.
+const traceRingSize = 64
+
+// options is the command-line configuration of one peerd run.
+type options struct {
+	addr        string
+	httpAddr    string // "" leaves the operational endpoint off
+	logFormat   string // "text" or "json"
+	traceSample int
+}
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:0", "listen address")
+	var opts options
+	flag.StringVar(&opts.addr, "addr", "127.0.0.1:0", "peer protocol listen address")
+	flag.StringVar(&opts.httpAddr, "http", "", "operational HTTP listen address (/metrics, /debug/traces, /debug/pprof); empty = disabled")
+	flag.StringVar(&opts.logFormat, "log-format", "text", "log record format: text or json")
+	flag.IntVar(&opts.traceSample, "trace-sample", 1, "trace knob: >0 honors and records callers' traced requests, 0 disables server-side tracing")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: peerd [-addr host:port] spec.ppl")
+		fmt.Fprintln(os.Stderr, "usage: peerd [-addr host:port] [-http host:port] [-log-format text|json] [-trace-sample n] spec.ppl")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *addr); err != nil {
+	d, err := start(flag.Arg(0), opts)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "peerd:", err)
 		os.Exit(1)
 	}
-}
-
-func run(path, addr string) error {
-	src, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	res, err := parser.Parse(string(src))
-	if err != nil {
-		return fmt.Errorf("%s:%w", path, err)
-	}
-	srv := netpeer.NewServer(res.Data)
-	bound, err := srv.Start(addr)
-	if err != nil {
-		return err
-	}
-	defer srv.Close()
-	fmt.Printf("peerd: serving %d stored relations (%d facts) at %s\n",
-		len(res.Data.Relations()), res.Data.Size(), bound)
-	for _, pred := range res.Data.Relations() {
-		fmt.Printf("  %s (%d tuples)\n", pred, res.Data.Relation(pred).Len())
-	}
+	defer d.close()
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	fmt.Println("peerd: shutting down")
-	return nil
+	d.log.Info("shutting down")
+}
+
+// daemon is one running peerd: the peer server plus, when configured, the
+// operational HTTP front door.
+type daemon struct {
+	srv   *netpeer.Server
+	bound string // bound peer-protocol address
+
+	registry *obs.Registry
+	tracer   *obs.Tracer
+
+	httpAddr string // bound HTTP address ("" when disabled)
+	httpSrv  *http.Server
+
+	log *slog.Logger
+}
+
+func newLogger(format string) *slog.Logger {
+	if format == "json" {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
+}
+
+// start loads the spec and brings up the peer server and, when opts.httpAddr
+// is set, the operational endpoint.
+func start(path string, opts options) (*daemon, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	res, err := parser.Parse(string(src))
+	if err != nil {
+		return nil, fmt.Errorf("%s:%w", path, err)
+	}
+
+	d := &daemon{
+		srv:      netpeer.NewServer(res.Data),
+		registry: obs.NewRegistry(),
+		tracer:   obs.NewTracer(traceRingSize),
+		log:      newLogger(opts.logFormat),
+	}
+	d.tracer.SetSampleEvery(opts.traceSample)
+	d.srv.Logger = d.log.With("component", "server")
+	d.srv.Tracer = d.tracer
+	d.srv.RegisterMetrics(d.registry)
+
+	bound, err := d.srv.Start(opts.addr)
+	if err != nil {
+		return nil, err
+	}
+	d.bound = bound
+	d.log.Info("serving", "addr", bound,
+		"relations", len(res.Data.Relations()), "facts", res.Data.Size())
+	for _, pred := range res.Data.Relations() {
+		d.log.Info("relation", "pred", pred, "tuples", res.Data.Relation(pred).Len())
+	}
+
+	if opts.httpAddr != "" {
+		lis, err := net.Listen("tcp", opts.httpAddr)
+		if err != nil {
+			d.srv.Close()
+			return nil, err
+		}
+		d.httpAddr = lis.Addr().String()
+		d.httpSrv = &http.Server{Handler: obs.Handler(d.registry, d.tracer)}
+		go d.httpSrv.Serve(lis)
+		d.log.Info("operational endpoint", "addr", d.httpAddr)
+	}
+	return d, nil
+}
+
+func (d *daemon) close() {
+	if d.httpSrv != nil {
+		d.httpSrv.Close()
+	}
+	d.srv.Close()
 }

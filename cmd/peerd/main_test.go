@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/netpeer"
+	"repro/internal/obs"
+)
+
+const testSpec = `
+storage A.r(x, y) in A:R(x, y)
+fact A.r("1", "a")
+fact A.r("2", "b")
+`
+
+func startTestDaemon(t *testing.T, opts options) *daemon {
+	t.Helper()
+	spec := filepath.Join(t.TempDir(), "spec.ppl")
+	if err := os.WriteFile(spec, []byte(testSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := start(spec, opts)
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	t.Cleanup(d.close)
+	return d
+}
+
+func get(t *testing.T, url string) (string, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	return string(body), resp
+}
+
+// TestFrontDoor drives a full peerd: serve a spec, answer protocol
+// requests, and report them through /metrics (JSON and Prometheus text)
+// and /debug/traces.
+func TestFrontDoor(t *testing.T) {
+	d := startTestDaemon(t, options{addr: "127.0.0.1:0", httpAddr: "127.0.0.1:0", traceSample: 1})
+	if d.httpAddr == "" {
+		t.Fatal("no HTTP endpoint bound")
+	}
+
+	// Generate traffic: a scan plus a traced scan through a client tracer.
+	c, err := netpeer.Dial(d.bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rows, err := c.Scan("A.r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("scan got %d rows, want 2", len(rows))
+	}
+
+	base := "http://" + d.httpAddr
+
+	var snap obs.SnapshotData
+	body, resp := get(t, base+"/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics is not JSON: %v\n%s", err, body)
+	}
+	if snap.Counters["server.requests"] == 0 {
+		t.Fatalf("server.requests missing or zero in %v", snap.Counters)
+	}
+	if snap.Counters["server.rows_served"] != 2 {
+		t.Fatalf("server.rows_served = %d, want 2", snap.Counters["server.rows_served"])
+	}
+	if _, ok := snap.Histograms["server.request_seconds"]; !ok {
+		t.Fatal("server.request_seconds histogram missing")
+	}
+	for _, name := range []string{"engine.scans", "engine.probes"} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Fatalf("engine counter %s missing", name)
+		}
+	}
+
+	prom, resp := get(t, base+"/metrics?format=prometheus")
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("prometheus content type %q", ct)
+	}
+	for _, want := range []string{"# TYPE server_requests counter", "server_request_seconds_bucket"} {
+		if !strings.Contains(prom, want) {
+			t.Fatalf("prometheus text missing %q:\n%s", want, prom)
+		}
+	}
+
+	// An untraced request leaves the ring empty; a remote-traced one lands
+	// in it and renders through /debug/traces.
+	traces, _ := get(t, base+"/debug/traces")
+	if !strings.Contains(traces, "no traces recorded") {
+		t.Fatalf("expected empty trace ring, got:\n%s", traces)
+	}
+	ct := obs.NewTracer(4)
+	ct.SetSampleEvery(1)
+	root := ct.StartTrace("query")
+	err = func() error {
+		defer root.End()
+		c2, err := netpeer.Dial(d.bound)
+		if err != nil {
+			return err
+		}
+		defer c2.Close()
+		return c2.TraceOn(root).Ping()
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, _ = get(t, base+"/debug/traces")
+	if !strings.Contains(traces, "serve.ping") {
+		t.Fatalf("/debug/traces missing served request:\n%s", traces)
+	}
+
+	// The sampling knob round-trips through the endpoint.
+	get(t, base+"/debug/traces?sample=0")
+	if n := d.tracer.SampleEvery(); n != 0 {
+		t.Fatalf("sample knob = %d after ?sample=0", n)
+	}
+
+	// pprof is mounted.
+	get(t, base+"/debug/pprof/cmdline")
+}
+
+// TestHTTPDisabled keeps the front door off without -http.
+func TestHTTPDisabled(t *testing.T) {
+	d := startTestDaemon(t, options{addr: "127.0.0.1:0", logFormat: "json"})
+	if d.httpAddr != "" || d.httpSrv != nil {
+		t.Fatalf("HTTP endpoint bound without -http: %q", d.httpAddr)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/constraints"
 	"repro/internal/lang"
 	"repro/internal/minicon"
+	"repro/internal/obs"
 )
 
 // nodeKind distinguishes goal nodes from rule nodes (Section 4.2 step 2).
@@ -95,6 +96,11 @@ type Options struct {
 	KeepRedundant bool
 	// MaxRewritings caps extraction (0 = all).
 	MaxRewritings int
+	// Trace, when non-nil, receives one child span per rule-goal tree node
+	// expanded during construction (goal nodes as "goal", their expansions
+	// as "rule"/"mcd" children), nested to mirror the tree. Nil disables
+	// tracing at the cost of nil checks only.
+	Trace *obs.Span
 }
 
 const defaultMaxNodes = 2_000_000
@@ -169,9 +175,15 @@ func (r *Reformulator) build(q lang.CQ) (*node, *builder, error) {
 		b.stats.GoalNodes++
 	}
 	// Expand each subgoal depth-first.
-	b.expandChildren(qr, maxNodes)
+	b.expandChildren(qr, maxNodes, r.opts.Trace)
 	if b.err != nil {
 		return nil, nil, b.err
+	}
+	if sp := r.opts.Trace; sp != nil {
+		sp.SetInt("goal_nodes", int64(b.stats.GoalNodes))
+		sp.SetInt("rule_nodes", int64(b.stats.RuleNodes))
+		sp.SetInt("memo_hits", int64(b.stats.MemoHits))
+		sp.SetInt("pruned_unsat", int64(b.stats.PrunedUnsat))
 	}
 	return root, b, nil
 }
@@ -182,14 +194,14 @@ func (r *Reformulator) build(q lang.CQ) (*node, *builder, error) {
 // every resulting expansion also covers gn's sole sibling, the sibling's
 // own expansions are redundant and it is left unexpanded (extraction covers
 // it through gn's unc labels).
-func (b *builder) expandChildren(rn *node, maxNodes int) {
+func (b *builder) expandChildren(rn *node, maxNodes int, sp *obs.Span) {
 	skip := map[*node]bool{}
 	for _, gn := range b.orderChildren(rn.children) {
 		if skip[gn] {
 			b.stats.UselessSkipped++
 			continue
 		}
-		b.expand(gn, maxNodes)
+		b.expand(gn, maxNodes, sp)
 		if b.err != nil {
 			return
 		}
@@ -324,7 +336,7 @@ func isSubset(a, b map[string]bool) bool {
 // expand grows the subtree under goal node n depth-first and returns whether
 // the subtree is productive (some choice of expansions bottoms out in stored
 // relations for n and, recursively, for all subgoals of the chosen rules).
-func (b *builder) expand(n *node, maxNodes int) bool {
+func (b *builder) expand(n *node, maxNodes int, sp *obs.Span) bool {
 	if b.err != nil {
 		return false
 	}
@@ -335,6 +347,8 @@ func (b *builder) expand(n *node, maxNodes int) bool {
 		b.err = fmt.Errorf("core: node budget exceeded (%d nodes); the PDMS may be too deep or too replicated — raise Options.MaxNodes", maxNodes)
 		return false
 	}
+	ns := sp.Child("goal", obs.Attr{K: "pred", V: n.label.Pred})
+	defer ns.End()
 	var key string
 	var restrictedBans map[string]bool
 	if !b.opts.NoMemo {
@@ -355,6 +369,8 @@ func (b *builder) expand(n *node, maxNodes int) bool {
 			b.stats.MemoHits++
 			n.dead = true
 			b.stats.DeadEnds++
+			ns.Set("memo", "hit")
+			ns.Set("dead", "true")
 			return false
 		}
 	}
@@ -366,7 +382,7 @@ func (b *builder) expand(n *node, maxNodes int) bool {
 		if !ru.fromInclusion && n.banned[ru.id] {
 			continue
 		}
-		if b.definitionalChild(n, ru, maxNodes) {
+		if b.definitionalChild(n, ru, maxNodes, ns) {
 			productive = true
 		}
 		if b.err != nil {
@@ -391,7 +407,7 @@ func (b *builder) expand(n *node, maxNodes int) bool {
 			continue
 		}
 		for _, mcd := range minicon.Form(goals, selfIdx, required, view, b.vs) {
-			if b.inclusionChild(n, view, mcd, maxNodes) {
+			if b.inclusionChild(n, view, mcd, maxNodes, ns) {
 				productive = true
 			}
 			if b.err != nil {
@@ -409,6 +425,7 @@ func (b *builder) expand(n *node, maxNodes int) bool {
 	if !productive {
 		n.dead = true
 		b.stats.DeadEnds++
+		ns.Set("dead", "true")
 		if !b.opts.NoMemo {
 			b.memoRecord(key, restrictedBans)
 		}
@@ -474,7 +491,7 @@ func requiredVars(r *node) map[string]bool {
 
 // definitionalChild performs one definitional expansion of goal node n with
 // rule ru; returns productivity of the new subtree.
-func (b *builder) definitionalChild(n *node, ru *rule, maxNodes int) bool {
+func (b *builder) definitionalChild(n *node, ru *rule, maxNodes int, sp *obs.Span) bool {
 	fresh, _ := ru.cq.Rename(b.vs)
 	sigma, ok := lang.Unify(fresh.Head, n.label, nil)
 	if !ok {
@@ -523,7 +540,9 @@ func (b *builder) definitionalChild(n *node, ru *rule, maxNodes int) bool {
 		rn.children = append(rn.children, gn)
 		b.stats.GoalNodes++
 	}
-	b.expandChildren(rn, maxNodes)
+	rs := sp.Child("rule", obs.Attr{K: "desc", V: ru.id})
+	b.expandChildren(rn, maxNodes, rs)
+	rs.End()
 	if b.err != nil {
 		return false
 	}
@@ -535,7 +554,7 @@ func (b *builder) definitionalChild(n *node, ru *rule, maxNodes int) bool {
 
 // inclusionChild performs one inclusion expansion of goal node n with the
 // given MCD; returns productivity.
-func (b *builder) inclusionChild(n *node, view *minicon.View, mcd minicon.MCD, maxNodes int) bool {
+func (b *builder) inclusionChild(n *node, view *minicon.View, mcd minicon.MCD, maxNodes int, sp *obs.Span) bool {
 	comps := mcd.Comps
 	constraint := n.constraint.And(constraints.New(comps...))
 	if !b.opts.NoPruneUnsat && len(comps) > 0 && !constraint.Satisfiable() {
@@ -569,7 +588,9 @@ func (b *builder) inclusionChild(n *node, view *minicon.View, mcd minicon.MCD, m
 	}
 	rn.children = []*node{gn}
 	b.stats.GoalNodes++
-	prod := b.expand(gn, maxNodes)
+	rs := sp.Child("mcd", obs.Attr{K: "view", V: view.ID})
+	prod := b.expand(gn, maxNodes, rs)
+	rs.End()
 	n.children = append(n.children, rn)
 	return prod
 }

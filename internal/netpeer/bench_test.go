@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/lang"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/rel"
 )
@@ -381,6 +382,70 @@ func BenchmarkFragmentCacheUnderMutation(b *testing.B) {
 				b.ReportMetric(float64(frag.Hits-fragBase.Hits)/float64(n), "frag-hit-rate")
 			}
 			b.ReportMetric(float64(frag.Invalidations-fragBase.Invalidations)/float64(b.N), "invalidations/op")
+		})
+	}
+}
+
+// BenchmarkTraceOverhead measures the cost of the tracing instrumentation
+// on the cross-peer bind-join path. "sampling-off" runs with the tracer's
+// knob at 0 — StartTrace returns nil and every span operation along the
+// executor, client, and server paths reduces to a nil check, which is the
+// default production state and must stay within noise (<5%) of the
+// pre-instrumentation path. "sampling-on" traces every query: the full
+// span tree is built, shipped back from the serving peers, and adopted.
+func BenchmarkTraceOverhead(b *testing.B) {
+	const (
+		bigRows  = 4000
+		distinct = 200
+		keys     = 8
+	)
+	small := map[string][]rel.Tuple{"S.keys": nil}
+	large := map[string][]rel.Tuple{"L.rows": nil}
+	for i := 0; i < keys; i++ {
+		small["S.keys"] = append(small["S.keys"], rel.Tuple{fmt.Sprintf("k%d", i)})
+	}
+	for i := 0; i < bigRows; i++ {
+		large["L.rows"] = append(large["L.rows"],
+			rel.Tuple{fmt.Sprintf("k%d", i%distinct), fmt.Sprintf("p%d", i)})
+	}
+	addr1 := startServer(b, small)
+	addr2 := startServer(b, large)
+	q, err := parser.ParseQuery(`q(x, y) :- S.keys(x), L.rows(x, y)`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := lang.UCQ{Disjuncts: []lang.CQ{q}}
+
+	for _, mode := range []struct {
+		name   string
+		sample int
+	}{
+		{"sampling-off", 0},
+		{"sampling-on", 1},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			ex := NewExecutor()
+			ex.FragmentCacheOff = true // measure the wire path every iteration
+			defer ex.Close()
+			for _, a := range []string{addr1, addr2} {
+				if err := ex.Discover(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+			tr := obs.NewTracer(8)
+			tr.SetSampleEvery(mode.sample)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				root := tr.StartTrace("query")
+				rows, err := ex.EvalUCQSpan(u, root)
+				root.End()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) != keys*bigRows/distinct {
+					b.Fatalf("rows = %d", len(rows))
+				}
+			}
 		})
 	}
 }

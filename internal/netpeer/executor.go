@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/lang"
+	"repro/internal/obs"
 	"repro/internal/rel"
 )
 
@@ -280,48 +281,71 @@ func (e *Executor) withClient(addr string, fn func(*Client) error) error {
 // maxFanout workers; on error the first failing disjunct (by position)
 // wins.
 func (e *Executor) EvalUCQ(u lang.UCQ) ([]rel.Tuple, error) {
+	return e.EvalUCQSpan(u, nil)
+}
+
+// EvalUCQSpan is EvalUCQ with tracing: one "eval.cq" child span per
+// disjunct, each holding that disjunct's push-down or per-atom bind-join
+// spans (with the serving peers' remote spans adopted under them). A nil
+// span evaluates identically with no overhead beyond the nil checks — it
+// satisfies pdms.SpanUCQEvaluator.
+func (e *Executor) EvalUCQSpan(u lang.UCQ, sp *obs.Span) ([]rel.Tuple, error) {
 	if err := u.Validate(); err != nil {
+		sp.SetErr(err)
 		return nil, err
 	}
+	sp.SetInt("disjuncts", int64(len(u.Disjuncts)))
 	n := len(u.Disjuncts)
 	groups := make([][]rel.Tuple, n)
-	if n <= 1 {
-		for i, q := range u.Disjuncts {
-			rows, err := e.EvalCQ(q)
-			if err != nil {
-				return nil, err
-			}
-			groups[i] = rows
-		}
-		return rel.DistinctSorted(groups...), nil
-	}
 	errs := make([]error, n)
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < min(n, maxFanout); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				groups[i], errs[i] = e.EvalCQ(u.Disjuncts[i])
-			}
-		}()
+	runOne := func(i int) {
+		cs := sp.Child("eval.cq", obs.Attr{K: "head", V: u.Disjuncts[i].Head.Pred})
+		groups[i], errs[i] = e.evalCQ(u.Disjuncts[i], cs)
+		cs.SetErr(errs[i])
+		cs.End()
 	}
-	for i := range u.Disjuncts {
-		idx <- i
+	if n <= 1 {
+		for i := range u.Disjuncts {
+			runOne(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < min(n, maxFanout); w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					runOne(i)
+				}
+			}()
+		}
+		for i := range u.Disjuncts {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
 	}
-	close(idx)
-	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
-	return rel.DistinctSorted(groups...), nil
+	out := rel.DistinctSorted(groups...)
+	sp.SetInt("rows", int64(len(out)))
+	return out, nil
 }
 
 // EvalCQ evaluates one conjunctive rewriting over the network.
 func (e *Executor) EvalCQ(q lang.CQ) ([]rel.Tuple, error) {
+	return e.evalCQ(q, nil)
+}
+
+// evalCQ is EvalCQ with an optional span: full push-down records one
+// "pushdown" child (the serving peer's remote spans adopt under it),
+// cross-peer execution hands the span to the bind-join's per-atom
+// instrumentation.
+func (e *Executor) evalCQ(q lang.CQ, sp *obs.Span) ([]rel.Tuple, error) {
 	addrs := map[string]bool{}
 	e.mu.Lock()
 	for _, a := range q.Body {
@@ -340,12 +364,20 @@ func (e *Executor) EvalCQ(q lang.CQ) ([]rel.Tuple, error) {
 		for a := range addrs {
 			only = a
 		}
+		ps := sp.Child("pushdown", obs.Attr{K: "addr", V: only})
+		defer ps.End()
 		var rows []rel.Tuple
 		err := e.withClient(only, func(c *Client) error {
+			if ps != nil {
+				c.traceSpan = ps
+				defer func() { c.traceSpan = nil }()
+			}
 			rs, err := c.Eval(q)
 			rows = rs
 			return err
 		})
+		ps.SetErr(err)
+		ps.SetInt("rows", int64(len(rows)))
 		if err != nil {
 			return nil, err
 		}
@@ -354,7 +386,7 @@ func (e *Executor) EvalCQ(q lang.CQ) ([]rel.Tuple, error) {
 	if e.FetchAll {
 		return e.evalFetchAll(q)
 	}
-	return e.evalStreamingBindJoin(q)
+	return e.evalStreamingBindJoin(q, sp)
 }
 
 // stepShape is the per-atom lowering of the streaming join: how one remote
@@ -418,7 +450,12 @@ func shapeOf(a lang.Atom, boundVars map[string]bool) stepShape {
 // when the advertised remote cardinality is smaller than the key set,
 // fetches the selection-pushed relation outright. Comparisons apply at the
 // first step that grounds them, so impossible keys are never shipped.
-func (e *Executor) evalStreamingBindJoin(q lang.CQ) ([]rel.Tuple, error) {
+//
+// Under a non-nil span each atom gets one "atom" child annotated with the
+// peer address, the source (fragcache / bind / fetch), key and partial-row
+// counts; the serving peer's remote spans (and the per-batch bind spans)
+// adopt under it.
+func (e *Executor) evalStreamingBindJoin(q lang.CQ, sp *obs.Span) ([]rel.Tuple, error) {
 	if !q.IsSafe() {
 		return nil, fmt.Errorf("netpeer: unsafe query %s", q)
 	}
@@ -441,6 +478,7 @@ func (e *Executor) evalStreamingBindJoin(q lang.CQ) ([]rel.Tuple, error) {
 
 	for _, bi := range order {
 		a := q.Body[bi]
+		as := sp.Child("atom", obs.Attr{K: "pred", V: a.Pred})
 		sh := shapeOf(a, boundVars)
 
 		// Hash the partial rows on the join columns.
@@ -507,6 +545,10 @@ func (e *Executor) evalStreamingBindJoin(q lang.CQ) ([]rel.Tuple, error) {
 		}
 
 		addr := e.addrOf(a.Pred)
+		as.Set("addr", addr)
+		if useBind {
+			as.SetInt("keys", int64(len(keyRows)))
+		}
 
 		// Cross-query fragment cache: an identical fetch (same peer, same
 		// canonical atom pattern, same bound-key set) whose relation
@@ -523,6 +565,8 @@ func (e *Executor) evalStreamingBindJoin(q lang.CQ) ([]rel.Tuple, error) {
 					join(t)
 				}
 				served = true
+				as.Set("src", "fragcache")
+				as.SetInt("fetched", int64(len(rows)))
 			}
 		}
 
@@ -591,24 +635,37 @@ func (e *Executor) evalStreamingBindJoin(q lang.CQ) ([]rel.Tuple, error) {
 			}
 			var err error
 			if useBind {
+				as.Set("src", "bind")
 				err = e.withClient(addr, func(c *Client) error {
 					if cacheable {
 						c.tapMeta = tap
 						defer func() { c.tapMeta = nil }()
 					}
+					if as != nil {
+						c.traceSpan = as
+						defer func() { c.traceSpan = nil }()
+					}
 					return c.BindEvalStream(a, sh.keyPoss, keyRows, depth, process)
 				})
 			} else {
+				as.Set("src", "fetch")
 				remote := selectionQuery(a)
 				err = e.withClient(addr, func(c *Client) error {
 					if cacheable {
 						c.tapMeta = tap
 						defer func() { c.tapMeta = nil }()
 					}
+					if as != nil {
+						c.traceSpan = as
+						defer func() { c.traceSpan = nil }()
+					}
 					return c.EvalStream(remote, process)
 				})
 			}
+			as.SetInt("fetched", int64(len(seenRemote)))
 			if err != nil {
+				as.SetErr(err)
+				as.End()
 				return nil, err
 			}
 			if cacheable && !fragTooBig && fragGenSeen && fragGenStable {
@@ -647,6 +704,8 @@ func (e *Executor) evalStreamingBindJoin(q lang.CQ) ([]rel.Tuple, error) {
 			}
 			partial = kept
 		}
+		as.SetInt("partial", int64(len(partial)))
+		as.End()
 		if len(partial) == 0 {
 			// The partial join is already empty, so the full join is too:
 			// skip the remaining fetches entirely.

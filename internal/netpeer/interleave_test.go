@@ -5,8 +5,10 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/lang"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/rel"
 )
@@ -124,6 +126,37 @@ func TestExecutorMutationInterleaving(t *testing.T) {
 				{"join3", parse(`q(x) :- S.a(x), L.b(x, y), L.c(y)`)},
 			}
 
+			// Metrics snapshots ride along with the harness: while mutators
+			// and queriers interleave, a sampler keeps taking registry
+			// snapshots and checks that every counter is monotone across
+			// them — a torn or non-atomic read would show up as a value
+			// regression (and as a -race report).
+			reg := obs.NewRegistry()
+			srv1.RegisterMetrics(reg)
+			ex.RegisterMetrics(reg)
+			stopSnap := make(chan struct{})
+			snapDone := make(chan struct{})
+			go func() {
+				defer close(snapDone)
+				prev := map[string]uint64{}
+				for {
+					select {
+					case <-stopSnap:
+						return
+					default:
+					}
+					snap := reg.Snapshot()
+					for k, v := range snap.Counters {
+						if v < prev[k] {
+							t.Errorf("counter %s went backwards: %d -> %d", k, prev[k], v)
+							return
+						}
+						prev[k] = v
+					}
+					time.Sleep(100 * time.Microsecond)
+				}
+			}()
+
 			const mutators, queriers, iters = 3, 4, 25
 			var wg sync.WaitGroup
 			for m := 0; m < mutators; m++ {
@@ -198,6 +231,8 @@ func TestExecutorMutationInterleaving(t *testing.T) {
 				}(g)
 			}
 			wg.Wait()
+			close(stopSnap)
+			<-snapDone
 			if t.Failed() {
 				return
 			}

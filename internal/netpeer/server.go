@@ -87,6 +87,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sort"
 	"sync"
@@ -95,6 +96,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/lang"
+	"repro/internal/obs"
 	"repro/internal/rel"
 	"repro/internal/wire"
 )
@@ -121,6 +123,14 @@ type Server struct {
 	// that cannot be answered in-band (broken request streams, read
 	// failures). Set it before Start.
 	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives the same diagnostics as structured
+	// records (with peer and error attributes) and takes precedence over
+	// Logf. Set it before Start.
+	Logger *slog.Logger
+	// Tracer, when non-nil, keeps the span trees of traced requests this
+	// server has answered in its ring buffer — the serving-side
+	// /debug/traces view. Untraced requests are never recorded.
+	Tracer *obs.Tracer
 	// MaxRequestBytes caps one request frame (0 = defaultMaxRequestBytes).
 	// An over-limit frame is consumed through its newline and answered
 	// with an in-band error response — the connection survives.
@@ -134,6 +144,10 @@ type Server struct {
 	mu   sync.RWMutex
 	data *rel.Instance
 	eng  *engine.Engine
+
+	// reqHist times every request (decode to final frame written),
+	// exported as server.request_seconds by RegisterMetrics.
+	reqHist *obs.Histogram
 
 	lis    net.Listener
 	cancel context.CancelFunc
@@ -178,7 +192,7 @@ func NewServer(data *rel.Instance) *Server {
 	if data == nil {
 		data = rel.NewInstance()
 	}
-	return &Server{data: data, eng: engine.New(data)}
+	return &Server{data: data, eng: engine.New(data), reqHist: obs.NewHistogram()}
 }
 
 // AddFact inserts a tuple into a served relation. It blocks while a
@@ -232,12 +246,6 @@ func (s *Server) acceptLoop(ctx context.Context, lis net.Listener) {
 			defer conn.Close()
 			s.serveConn(ctx, conn)
 		}()
-	}
-}
-
-func (s *Server) logf(format string, args ...any) {
-	if s.Logf != nil {
-		s.Logf(format, args...)
 	}
 }
 
@@ -300,7 +308,7 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 			// no diagnostic on either side).
 			s.requests.Add(1)
 			s.readErrors.Add(1)
-			s.logf("netpeer: request frame over %d bytes from %s", maxFrame, conn.RemoteAddr())
+			s.logw("netpeer: request frame over limit", "peer", conn.RemoteAddr(), "limit", maxFrame)
 			if send(wire.Response{Error: fmt.Sprintf("request frame exceeds %d bytes", maxFrame)}) != nil {
 				return
 			}
@@ -309,7 +317,7 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 			return // clean disconnect at a frame boundary
 		default:
 			s.readErrors.Add(1)
-			s.logf("netpeer: reading request from %s: %v", conn.RemoteAddr(), err)
+			s.logw("netpeer: reading request", "peer", conn.RemoteAddr(), "err", err)
 			return
 		}
 		s.requests.Add(1)
@@ -321,7 +329,10 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 			}
 			continue
 		}
-		if s.handleStream(req, send) != nil {
+		reqStart := time.Now()
+		err = s.handleStream(req, send)
+		s.reqHist.Observe(time.Since(reqStart))
+		if err != nil {
 			return
 		}
 	}
@@ -333,12 +344,15 @@ type chunker struct {
 	send    func(wire.Response) error
 	rows    [][]string
 	bytes   int
-	sendErr error // transport failure; terminal for the connection
+	total   int         // rows streamed so far, across all frames
+	spans   []wire.Span // trace spans for the final frame (traced requests only)
+	sendErr error       // transport failure; terminal for the connection
 }
 
 // row buffers one tuple, flushing a non-final frame at the chunk bounds.
 func (c *chunker) row(t rel.Tuple) error {
 	c.rows = append(c.rows, t)
+	c.total++
 	for _, v := range t {
 		c.bytes += len(v)
 	}
@@ -355,7 +369,7 @@ func (c *chunker) row(t rel.Tuple) error {
 // finish emits the final frame: any buffered rows plus the piggybacked
 // cardinalities and generations of the relations the request touched.
 func (c *chunker) finish(preds []string, cards []int, gens []uint64) error {
-	return c.send(wire.Response{Rows: c.rows, Preds: preds, Cards: cards, Gens: gens})
+	return c.send(wire.Response{Rows: c.rows, Preds: preds, Cards: cards, Gens: gens, Spans: c.spans})
 }
 
 // handleStream answers one request as a stream of frames through send. It
@@ -363,6 +377,26 @@ func (c *chunker) finish(preds []string, cards []int, gens []uint64) error {
 // in-band error — is fully written. Row production runs under the read
 // lock so one request observes one consistent instance.
 func (s *Server) handleStream(req wire.Request, send func(wire.Response) error) error {
+	// A traced request (req.Trace set) gets a detached server-side span
+	// tree; exported finishes it and flattens it for the success final
+	// frame, parented under the caller's span ID from the request. Error
+	// responses ship no spans (error frames carry only "error"), and an
+	// untraced request costs only the nil checks inside the span methods.
+	// A configured Tracer whose sampling knob is 0 is the serving-side
+	// kill switch: remote trace requests are ignored (tracing is
+	// best-effort per the protocol, so callers just see no remote detail).
+	var root *obs.Span
+	if req.Trace != "" && (s.Tracer == nil || s.Tracer.SampleEvery() > 0) {
+		root = obs.StartRemote("serve."+req.Op, obs.Attr{K: "trace", V: req.Trace})
+	}
+	exported := func() []wire.Span {
+		if root == nil {
+			return nil
+		}
+		root.End()
+		s.Tracer.Record(root)
+		return spansToWire(root.Export(req.Span))
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	// metaOf assembles the piggyback payload for the touched relations:
@@ -383,27 +417,33 @@ func (s *Server) handleStream(req wire.Request, send func(wire.Response) error) 
 	switch req.Op {
 	case "catalog":
 		preds, cards, gens := metaOf(s.data.Relations()...)
-		return send(wire.Response{Preds: preds, Cards: cards, Gens: gens})
+		return send(wire.Response{Preds: preds, Cards: cards, Gens: gens, Spans: exported()})
 	case "gens":
 		// The fragment-cache revalidation round trip: tiny, row-free, and
 		// answered from the same lock-consistent snapshot as any data op.
 		preds, cards, gens := metaOf(req.Preds...)
-		return send(wire.Response{Preds: preds, Cards: cards, Gens: gens})
+		return send(wire.Response{Preds: preds, Cards: cards, Gens: gens, Spans: exported()})
 	case "ping":
 		// Liveness probe for pool health checks; deliberately touches no
 		// relation state.
-		return send(wire.Response{})
+		return send(wire.Response{Spans: exported()})
 	case "scan":
 		// StreamScan walks the per-shard insert logs directly: no sort, no
 		// sorted-view materialization, O(chunk) memory end to end. Row order
 		// is per-shard insertion order (unspecified globally).
 		c := &chunker{send: send}
-		if err := s.eng.StreamScan(req.Pred, c.row); err != nil {
+		ss := root.Child("scan", obs.Attr{K: "pred", V: req.Pred})
+		err := s.eng.StreamScan(req.Pred, c.row)
+		ss.SetErr(err)
+		ss.SetInt("rows", int64(c.total))
+		ss.End()
+		if err != nil {
 			if c.sendErr != nil {
 				return c.sendErr
 			}
 			return send(wire.Response{Error: err.Error()})
 		}
+		c.spans = exported()
 		return c.finish(metaOf(req.Pred))
 	case "eval":
 		if req.Query == nil {
@@ -414,7 +454,12 @@ func (s *Server) handleStream(req wire.Request, send func(wire.Response) error) 
 			return send(wire.Response{Error: err.Error()})
 		}
 		c := &chunker{send: send}
-		if err := s.eng.StreamCQ(q, c.row); err != nil {
+		es := root.Child("eval", obs.Attr{K: "head", V: q.Head.Pred})
+		err = s.eng.StreamCQ(q, c.row)
+		es.SetErr(err)
+		es.SetInt("rows", int64(c.total))
+		es.End()
+		if err != nil {
 			if c.sendErr != nil {
 				return c.sendErr
 			}
@@ -430,6 +475,7 @@ func (s *Server) handleStream(req wire.Request, send func(wire.Response) error) 
 				preds = append(preds, a.Pred)
 			}
 		}
+		c.spans = exported()
 		return c.finish(metaOf(preds...))
 	case "bind":
 		pred, cols, keys, err := bindProbeArgs(req)
@@ -437,12 +483,19 @@ func (s *Server) handleStream(req wire.Request, send func(wire.Response) error) 
 			return send(wire.Response{Error: err.Error()})
 		}
 		c := &chunker{send: send}
-		if err := s.eng.ProbeByKeyBatchYield(pred, cols, keys, c.row); err != nil {
+		bs := root.Child("bind", obs.Attr{K: "pred", V: pred})
+		bs.SetInt("keys", int64(len(keys)))
+		err = s.eng.ProbeByKeyBatchYield(pred, cols, keys, c.row)
+		bs.SetErr(err)
+		bs.SetInt("rows", int64(c.total))
+		bs.End()
+		if err != nil {
 			if c.sendErr != nil {
 				return c.sendErr
 			}
 			return send(wire.Response{Error: err.Error()})
 		}
+		c.spans = exported()
 		return c.finish(metaOf(pred))
 	default:
 		return send(wire.Response{Error: fmt.Sprintf("unknown op %q", req.Op)})
@@ -607,6 +660,12 @@ type Client struct {
 	// own response frames reported (the shared onMeta table would race with
 	// concurrent calls observing newer generations).
 	tapMeta func(preds []string, gens []uint64)
+	// traceSpan, when non-nil, marks requests on this client as traced:
+	// each request carries the span's trace ID and span ID, and the spans
+	// shipped back on final frames are adopted under it, labeled with the
+	// peer address. Installed by the borrower for one logical call; like
+	// the Client itself it is not safe for concurrent use.
+	traceSpan *obs.Span
 	// broken is set when a transport-level failure leaves the stream
 	// desynced (request written but response unread, a partial/garbled
 	// frame consumed, or a response stream abandoned mid-flight): reusing
@@ -643,6 +702,15 @@ func (c *Client) Close() error { return c.conn.Close() }
 // Broken reports whether a transport-level failure has desynced the
 // connection; a broken client must not be reused.
 func (c *Client) Broken() bool { return c.broken }
+
+// TraceOn installs sp as the client's trace context: subsequent requests
+// carry its trace and span IDs, and remote spans shipped back on final
+// frames are adopted under it. A nil sp turns tracing off. Returns c for
+// chaining.
+func (c *Client) TraceOn(sp *obs.Span) *Client {
+	c.traceSpan = sp
+	return c
+}
 
 // readStream consumes one response stream: zero or more non-final frames
 // and a final one. onRows (when non-nil) receives each frame's rows as
@@ -694,6 +762,9 @@ func (c *Client) readStream(onRows func([][]string) error) (wire.Response, error
 					c.tapMeta(resp.Preds, resp.Gens)
 				}
 			}
+			if c.traceSpan != nil && len(resp.Spans) > 0 {
+				c.traceSpan.AdoptRemote(c.conn.RemoteAddr().String(), wireToSpans(resp.Spans))
+			}
 			return resp, nil
 		}
 	}
@@ -704,6 +775,10 @@ func (c *Client) readStream(onRows func([][]string) error) (wire.Response, error
 func (c *Client) roundTripStream(req wire.Request, onRows func([][]string) error) (wire.Response, error) {
 	if c.counters != nil {
 		c.counters.requests.Add(1)
+	}
+	if c.traceSpan != nil {
+		req.Trace = c.traceSpan.TraceID()
+		req.Span = c.traceSpan.ID()
 	}
 	if err := c.enc.Encode(req); err != nil {
 		c.broken = true
@@ -871,6 +946,17 @@ func (c *Client) BindEvalStream(a lang.Atom, bindCols []int, rows [][]string, de
 	wa := wire.FromAtom(a)
 	starts := bindBatchStarts(rows)
 	nb := len(starts)
+	// Per-batch trace spans: the writer creates batch i's span and hands it
+	// through spanCh — buffered to nb, so the writer never blocks on it and
+	// unread spans are simply dropped on an error exit — before encoding
+	// the request; the reader installs it as the client's adoption target
+	// while batch i's response streams back, then ends it.
+	parent := c.traceSpan
+	var spanCh chan *obs.Span
+	if parent != nil {
+		spanCh = make(chan *obs.Span, nb)
+		defer func() { c.traceSpan = parent }()
+	}
 	var responsesDone, batchesWritten atomic.Uint64
 	sem := make(chan struct{}, depth)
 	abort := make(chan struct{})
@@ -894,12 +980,23 @@ func (c *Client) BindEvalStream(a lang.Atom, bindCols []int, rows [][]string, de
 						c.counters.bindPipelined.Add(1)
 					}
 				}
-				if err := c.enc.Encode(wire.Request{
+				req := wire.Request{
 					Op:       "bind",
 					Atom:     &wa,
 					BindCols: bindCols,
 					BindRows: rows[starts[i]:end],
-				}); err != nil {
+				}
+				if spanCh != nil {
+					bs := parent.Child("bind.batch", obs.Attr{K: "pred", V: a.Pred})
+					bs.SetInt("batch", int64(i))
+					bs.SetInt("keys", int64(end-starts[i]))
+					if bs != nil {
+						req.Trace = bs.TraceID()
+						req.Span = bs.ID()
+					}
+					spanCh <- bs
+				}
+				if err := c.enc.Encode(req); err != nil {
 					return err
 				}
 				batchesWritten.Add(1)
@@ -910,7 +1007,13 @@ func (c *Client) BindEvalStream(a lang.Atom, bindCols []int, rows [][]string, de
 	var readErr error
 	read := 0
 	for ; read < nb; read++ {
+		if spanCh != nil {
+			c.traceSpan = <-spanCh
+		}
 		_, err := c.readStream(rowsToYield(yield))
+		if spanCh != nil {
+			c.traceSpan.End()
+		}
 		responsesDone.Add(1)
 		select {
 		case <-sem:

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// The bucket layout: geometric bounds from histMinBound seconds growing by
+// histGrowth per bucket. With growth sqrt(2) and 56 buckets the layout
+// spans 1µs .. ~268s, which covers every latency this system produces;
+// observations past the last bound land in an overflow bucket whose
+// quantile estimate is the last bound.
+const (
+	histNumBuckets = 56
+	histMinBound   = 1e-6 // seconds
+)
+
+// histBounds[i] is the inclusive upper bound (seconds) of bucket i.
+var histBounds = func() [histNumBuckets]float64 {
+	var b [histNumBuckets]float64
+	growth := math.Sqrt2
+	v := histMinBound
+	for i := range b {
+		b[i] = v
+		v *= growth
+	}
+	return b
+}()
+
+// Histogram is a lock-free latency histogram: geometric buckets covering
+// 1µs–268s with ratio sqrt(2), so a quantile estimate is off from the true
+// sample quantile by at most one bucket ratio (~1.42x) plus intra-bucket
+// interpolation. Observe is an atomic add after a short binary search —
+// safe and cheap on hot paths. The zero value is usable.
+type Histogram struct {
+	buckets  [histNumBuckets]atomic.Uint64
+	overflow atomic.Uint64
+	count    atomic.Uint64
+	sumNanos atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+	s := d.Seconds()
+	// Binary search for the first bound >= s.
+	lo, hi := 0, histNumBuckets
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if histBounds[mid] >= s {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == histNumBuckets {
+		h.overflow.Add(1)
+		return
+	}
+	h.buckets[lo].Add(1)
+}
+
+// quantile estimates the q-quantile (0 < q < 1) from cumulative bucket
+// counts, interpolating linearly inside the winning bucket.
+func quantile(counts []uint64, total uint64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if cum < rank {
+			continue
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = histBounds[i-1]
+		}
+		upper := histBounds[i]
+		frac := float64(rank-prev) / float64(c)
+		return lower + (upper-lower)*frac
+	}
+	// Rank falls in the overflow bucket: report the last finite bound.
+	return histBounds[histNumBuckets-1]
+}
+
+// Snapshot returns the histogram's current counts and quantile estimates.
+// Counters are read individually-atomically; a concurrent Observe may be
+// partially visible, skewing the snapshot by at most that one sample.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var counts [histNumBuckets]uint64
+	var total uint64
+	last := -1
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		counts[i] = c
+		total += c
+		if c > 0 {
+			last = i
+		}
+	}
+	over := h.overflow.Load()
+	snap := HistogramSnapshot{
+		Count: total + over,
+		Sum:   time.Duration(h.sumNanos.Load()).Seconds(),
+		P50:   quantile(counts[:], total+over, 0.50),
+		P99:   quantile(counts[:], total+over, 0.99),
+		P999:  quantile(counts[:], total+over, 0.999),
+	}
+	// Expose the non-empty prefix of the layout as cumulative buckets.
+	if last >= 0 {
+		snap.Bounds = make([]float64, last+1)
+		snap.Counts = make([]uint64, last+1)
+		var cum uint64
+		for i := 0; i <= last; i++ {
+			cum += counts[i]
+			snap.Bounds[i] = histBounds[i]
+			snap.Counts[i] = cum
+		}
+	}
+	return snap
+}

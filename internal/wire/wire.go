@@ -223,6 +223,34 @@ type Request struct {
 	// per BindCols entry. A tuple matches the batch when its projection onto
 	// BindCols equals at least one row.
 	BindRows [][]string `json:"bindRows,omitempty"`
+	// Trace optionally carries the caller's trace ID. A server that
+	// understands it times the request's server-side work and ships the
+	// resulting spans back on the final response frame; servers predating
+	// the field ignore it (unknown JSON fields are skipped), which simply
+	// leaves the caller's trace without remote detail.
+	Trace string `json:"trace,omitempty"`
+	// Span is the caller-side span ID the returned remote spans should be
+	// parented under. Meaningful only with Trace set.
+	Span uint64 `json:"span,omitempty"`
+}
+
+// Span is the serializable form of one server-side trace span, shipped on
+// the final frame of a traced request. IDs are scoped to this response:
+// Parent references either another span in the same Spans slice or the
+// request's Span field.
+type Span struct {
+	ID     uint64     `json:"id"`
+	Parent uint64     `json:"parent,omitempty"`
+	Name   string     `json:"name"`
+	Start  int64      `json:"start,omitempty"` // UnixNano, serving peer's clock
+	Dur    int64      `json:"dur"`             // nanoseconds
+	Attrs  []SpanAttr `json:"attrs,omitempty"`
+}
+
+// SpanAttr is one key/value annotation on a Span.
+type SpanAttr struct {
+	K string `json:"k"`
+	V string `json:"v"`
 }
 
 // Response is one frame of a protocol response stream. Row-bearing ops
@@ -253,6 +281,11 @@ type Response struct {
 	// executor's fragment cache serves an entry only after seeing (or
 	// revalidating to) an equal generation.
 	Gens []uint64 `json:"gens,omitempty"`
+	// Spans carries the serving peer's trace spans for this request,
+	// present only on the final frame of a request that carried a Trace ID
+	// and only when the server sampled it. Clients that predate the field
+	// ignore it.
+	Spans []Span `json:"spans,omitempty"`
 }
 
 // ErrFrameTooLarge is returned by ReadFrame when one line exceeds the

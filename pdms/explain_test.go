@@ -1,0 +1,169 @@
+package pdms_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/netpeer"
+	"repro/internal/obs"
+	"repro/internal/rel"
+	"repro/pdms"
+)
+
+// TestExplainLocal renders a forced trace of one local query: mediator
+// reformulation (with its rule-goal nodes), planning and evaluation must
+// all appear, and the answers must match a plain Query.
+func TestExplainLocal(t *testing.T) {
+	net, err := pdms.Load(`
+storage FH.doc(s, l) in FH:Doctor(s, l)
+define H:Doctor(s, l) :- FH:Doctor(s, l)
+fact FH.doc("d1", "er")
+fact FH.doc("d2", "icu")
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := `q(s) :- H:Doctor(s, l)`
+	text, ans, err := net.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := net.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != len(plain) {
+		t.Fatalf("Explain answers %v != Query answers %v", ans, plain)
+	}
+	for _, want := range []string{"trace ", "reformulate", "goal", "eval", "plan"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Explain output missing %q:\n%s", want, text)
+		}
+	}
+	// The rendered tree mirrors the rule-goal tree: the posed goal node
+	// carries its predicate.
+	if !strings.Contains(text, "pred=H:Doctor") {
+		t.Fatalf("Explain output missing the goal node's predicate:\n%s", text)
+	}
+	// Explain keeps the trace in the network's ring for /debug/traces.
+	if net.Tracer().Recorded() == 0 {
+		t.Fatal("Explain did not record the trace")
+	}
+}
+
+// TestRegisterMetrics runs a query, then checks one registry snapshot
+// carries the network's cache counters, its query-latency histogram and
+// the embedded engine's counters under their dotted names.
+func TestRegisterMetrics(t *testing.T) {
+	net, err := pdms.Load(`
+storage FH.doc(s, l) in FH:Doctor(s, l)
+define H:Doctor(s, l) :- FH:Doctor(s, l)
+fact FH.doc("d1", "er")
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Query(`q(s) :- H:Doctor(s, l)`); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	net.RegisterMetrics(reg)
+	snap := reg.Snapshot()
+	if snap.Counters["pdms.answer_cache.misses"] == 0 {
+		t.Fatalf("pdms.answer_cache.misses not reported: %v", snap.Counters)
+	}
+	for _, key := range []string{"pdms.answer_cache.hits", "pdms.invalidations",
+		"pdms.reform_cache.hits", "pdms.reform_cache.misses", "engine.scans"} {
+		if _, ok := snap.Counters[key]; !ok {
+			t.Fatalf("%s missing from snapshot: %v", key, snap.Counters)
+		}
+	}
+	h, ok := snap.Histograms["pdms.query_seconds"]
+	if !ok || h.Count == 0 {
+		t.Fatalf("pdms.query_seconds histogram missing or empty: %+v", snap.Histograms)
+	}
+}
+
+// TestNewEmptyNetwork covers the programmatic constructor and the spec /
+// data accessors: an empty network extends into a queryable one.
+func TestNewEmptyNetwork(t *testing.T) {
+	net := pdms.New(pdms.Options{})
+	if net.Spec() == nil || net.Data() == nil {
+		t.Fatal("empty network has nil spec or data")
+	}
+	if err := net.Extend(`
+storage FH.doc(s, l) in FH:Doctor(s, l)
+fact FH.doc("d1", "er")
+`); err != nil {
+		t.Fatal(err)
+	}
+	ans, err := net.Query(`q(s) :- FH:Doctor(s, l)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 1 {
+		t.Fatalf("answers = %v, want 1 row", ans)
+	}
+	if got := net.Data().Relation("FH.doc"); got == nil || len(got.Tuples()) != 1 {
+		t.Fatalf("Data() does not expose the loaded relation")
+	}
+}
+
+// TestExplainViaNetworkExecutor stitches a cross-peer trace end to end:
+// the rendered tree must contain spans adopted from both serving peers,
+// labeled with their addresses.
+func TestExplainViaNetworkExecutor(t *testing.T) {
+	net, err := pdms.Load(`
+storage H1.doc(s, l) in H:Doctor(s, l)
+storage FD.medic(s, l) in FS:Medic(s, l)
+define DC:OnCall(d, m, s) :- H:Doctor(d, s), FS:Medic(m, s)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startPeer := func(facts map[string][]rel.Tuple) string {
+		data := rel.NewInstance()
+		for pred, ts := range facts {
+			for _, tu := range ts {
+				if _, err := data.Add(pred, tu); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		srv := netpeer.NewServer(data)
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		return addr
+	}
+	addr1 := startPeer(map[string][]rel.Tuple{"H1.doc": {{"d07", "day"}, {"d12", "night"}}})
+	addr2 := startPeer(map[string][]rel.Tuple{"FD.medic": {{"m1", "day"}}})
+	ex := netpeer.NewExecutor()
+	defer ex.Close()
+	for _, a := range []string{addr1, addr2} {
+		if err := ex.Discover(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	text, rows, err := net.ExplainVia(`q(d, m) :- DC:OnCall(d, m, "day")`, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][1] != "m1" {
+		t.Fatalf("rows = %v", rows)
+	}
+	for _, want := range []string{
+		"reformulate",
+		"atom",
+		"[peer " + addr1 + "]",
+		"[peer " + addr2 + "]",
+		"serve.",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("stitched trace missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -20,20 +20,24 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/chase"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/lang"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/ppl"
 	"repro/internal/rel"
 )
 
-// answerCacheSize and reformCacheSize bound the per-network LRU caches.
+// answerCacheSize and reformCacheSize bound the per-network LRU caches;
+// traceRingSize bounds the tracer's buffer of recent query traces.
 const (
 	answerCacheSize = 512
 	reformCacheSize = 256
+	traceRingSize   = 64
 )
 
 // Network is a PDMS instance: the specification plus stored data.
@@ -70,16 +74,22 @@ type Network struct {
 	invalidations uint64
 	answers       *engine.LRU
 	reforms       *engine.LRU
+	// tracer samples Query/QueryVia traces (off until its sampling knob is
+	// set); queryHist times every query regardless of sampling.
+	tracer    *obs.Tracer
+	queryHist *obs.Histogram
 }
 
 func newNetwork(spec *ppl.PDMS, data *rel.Instance, opts Options) *Network {
 	return &Network{
-		spec:    spec,
-		data:    data,
-		opts:    opts,
-		eng:     engine.New(data),
-		answers: engine.NewLRU(answerCacheSize),
-		reforms: engine.NewLRU(reformCacheSize),
+		spec:      spec,
+		data:      data,
+		opts:      opts,
+		eng:       engine.New(data),
+		answers:   engine.NewLRU(answerCacheSize),
+		reforms:   engine.NewLRU(reformCacheSize),
+		tracer:    obs.NewTracer(traceRingSize),
+		queryHist: obs.NewHistogram(),
 	}
 }
 
@@ -258,7 +268,7 @@ var testHookPostKey func()
 func (n *Network) ReformulateCQ(q lang.CQ) (*Reformulation, error) {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	return n.reformulateCQLocked(q)
+	return n.reformulateCQLocked(q, nil)
 }
 
 // reformulateCQLocked is ReformulateCQ with n.mu already held (any mode).
@@ -267,16 +277,20 @@ func (n *Network) ReformulateCQ(q lang.CQ) (*Reformulation, error) {
 // so an entry keyed with generation g always reflects generation-g state
 // (the old code snapshotted the generation under a separate RLock and
 // could store a post-Extend rewriting under the pre-Extend key).
-func (n *Network) reformulateCQLocked(q lang.CQ) (*Reformulation, error) {
+func (n *Network) reformulateCQLocked(q lang.CQ, sp *obs.Span) (*Reformulation, error) {
 	key := fmt.Sprintf("%d|%s", n.specGen, q.Canonical())
 	if testHookPostKey != nil {
 		testHookPostKey()
 	}
 	if v, ok := n.reforms.Get(key); ok {
 		ref := v.(Reformulation)
+		sp.Set("cached", "true")
+		sp.SetInt("rewritings", int64(ref.Rewriting.Len()))
 		return &ref, nil
 	}
-	r, err := core.New(n.spec, n.opts.core())
+	copts := n.opts.core()
+	copts.Trace = sp
+	r, err := core.New(n.spec, copts)
 	if err != nil {
 		return nil, err
 	}
@@ -289,6 +303,7 @@ func (n *Network) reformulateCQLocked(q lang.CQ) (*Reformulation, error) {
 		Stats:          out.Stats,
 		Classification: out.Classification,
 	}
+	sp.SetInt("rewritings", int64(ref.Rewriting.Len()))
 	n.reforms.Put(key, ref)
 	return &ref, nil
 }
@@ -329,8 +344,18 @@ func (n *Network) answerKeyLocked(q lang.CQ, ref *Reformulation) string {
 // rewriting touches and served until one of *those* relations (or the
 // specification) mutates. Callers must not mutate the returned slice.
 func (n *Network) Query(query string) ([]Answer, error) {
+	return n.query(query, n.tracer.StartTrace("query", obs.Attr{K: "q", V: query}))
+}
+
+// query is Query under an optional (possibly nil) trace root, which it
+// always ends; the caller renders it afterwards if it wants the tree.
+func (n *Network) query(query string, root *obs.Span) ([]Answer, error) {
+	defer root.End()
+	start := time.Now()
+	defer func() { n.queryHist.Observe(time.Since(start)) }()
 	q, err := parser.ParseQuery(query)
 	if err != nil {
+		root.SetErr(err)
 		return nil, err
 	}
 	// The reformulation, the generation-vector snapshot, the cache probe,
@@ -342,7 +367,10 @@ func (n *Network) Query(query string) ([]Answer, error) {
 	// pre-mutation key, which concurrent old-generation readers hit.)
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	ref, err := n.reformulateCQLocked(q)
+	rs := root.Child("reformulate")
+	ref, err := n.reformulateCQLocked(q, rs)
+	rs.SetErr(err)
+	rs.End()
 	if err != nil {
 		return nil, err
 	}
@@ -351,9 +379,13 @@ func (n *Network) Query(query string) ([]Answer, error) {
 		testHookPostKey()
 	}
 	if v, ok := n.answers.Get(key); ok {
+		root.Set("answer_cache", "hit")
 		return v.([]Answer), nil
 	}
-	rows, err := n.eng.EvalUCQ(ref.Rewriting)
+	es := root.Child("eval")
+	rows, err := n.eng.EvalUCQSpan(ref.Rewriting, es)
+	es.SetErr(err)
+	es.End()
 	if err != nil {
 		return nil, err
 	}
@@ -363,6 +395,19 @@ func (n *Network) Query(query string) ([]Answer, error) {
 	}
 	n.answers.Put(key, out)
 	return out, nil
+}
+
+// Explain runs query with tracing forced (regardless of the sampling
+// knob) and returns the rendered trace tree alongside the answers: the
+// reformulation's rule-goal expansion, planning, and evaluation stages,
+// with timings.
+func (n *Network) Explain(query string) (string, []Answer, error) {
+	root := n.tracer.ForceTrace("query", obs.Attr{K: "q", V: query})
+	ans, err := n.query(query, root)
+	if err != nil {
+		return root.Render(), nil, err
+	}
+	return root.Render(), ans, nil
 }
 
 // UCQEvaluator executes a reformulated union of conjunctive queries over
@@ -381,15 +426,45 @@ type UCQEvaluator interface {
 // on the distributed path is the executor's job (its bind-fragment cache
 // revalidates against the serving peers' per-relation generations).
 func (n *Network) QueryVia(query string, exec UCQEvaluator) ([]Answer, error) {
+	return n.queryVia(query, exec, n.tracer.StartTrace("query", obs.Attr{K: "q", V: query}))
+}
+
+// SpanUCQEvaluator is a UCQEvaluator that can attach its execution spans
+// (per-disjunct evaluation, bind-join batches, remote work) under a trace
+// span. *engine.Engine and *netpeer.Executor implement it.
+type SpanUCQEvaluator interface {
+	UCQEvaluator
+	EvalUCQSpan(u lang.UCQ, sp *obs.Span) ([]rel.Tuple, error)
+}
+
+// queryVia is QueryVia under an optional trace root (see query).
+func (n *Network) queryVia(query string, exec UCQEvaluator, root *obs.Span) ([]Answer, error) {
+	defer root.End()
+	start := time.Now()
+	defer func() { n.queryHist.Observe(time.Since(start)) }()
 	q, err := parser.ParseQuery(query)
 	if err != nil {
+		root.SetErr(err)
 		return nil, err
 	}
-	ref, err := n.ReformulateCQ(q)
+	n.mu.RLock()
+	rs := root.Child("reformulate")
+	ref, err := n.reformulateCQLocked(q, rs)
+	rs.SetErr(err)
+	rs.End()
+	n.mu.RUnlock()
 	if err != nil {
 		return nil, err
 	}
-	rows, err := exec.EvalUCQ(ref.Rewriting)
+	es := root.Child("eval")
+	var rows []rel.Tuple
+	if se, ok := exec.(SpanUCQEvaluator); ok && es != nil {
+		rows, err = se.EvalUCQSpan(ref.Rewriting, es)
+	} else {
+		rows, err = exec.EvalUCQ(ref.Rewriting)
+	}
+	es.SetErr(err)
+	es.End()
 	if err != nil {
 		return nil, err
 	}
@@ -398,6 +473,42 @@ func (n *Network) QueryVia(query string, exec UCQEvaluator) ([]Answer, error) {
 		out[i] = Answer(t)
 	}
 	return out, nil
+}
+
+// ExplainVia runs query through exec with tracing forced and returns the
+// rendered trace tree — for a *netpeer.Executor this shows the stitched
+// cross-peer span tree, with each serving peer's spans grafted under the
+// bind-join batches that produced them — alongside the answers.
+func (n *Network) ExplainVia(query string, exec UCQEvaluator) (string, []Answer, error) {
+	root := n.tracer.ForceTrace("query", obs.Attr{K: "q", V: query})
+	ans, err := n.queryVia(query, exec, root)
+	if err != nil {
+		return root.Render(), nil, err
+	}
+	return root.Render(), ans, nil
+}
+
+// Tracer exposes the network's query tracer: set its sampling knob to
+// start collecting traces, and read recent ones from it (cmd/peerd mounts
+// them at /debug/traces).
+func (n *Network) Tracer() *obs.Tracer { return n.tracer }
+
+// RegisterMetrics registers this network's counters into reg: the answer
+// and reformulation cache counters as the "pdms" group, the query latency
+// histogram as "pdms.query_seconds", and the embedded engine's counters as
+// the "engine" group.
+func (n *Network) RegisterMetrics(reg *obs.Registry) {
+	n.eng.RegisterMetrics(reg)
+	reg.RegisterHistogram("pdms.query_seconds", n.queryHist)
+	reg.RegisterGroup("pdms", func(em *obs.Emitter) {
+		cs := n.CacheStats()
+		em.Counter("answer_cache.hits", cs.Hits)
+		em.Counter("answer_cache.misses", cs.Misses)
+		em.Counter("invalidations", cs.Invalidations)
+		rs := n.reforms.Stats()
+		em.Counter("reform_cache.hits", rs.Hits)
+		em.Counter("reform_cache.misses", rs.Misses)
+	})
 }
 
 // QueryCacheStats reports cumulative answer-cache counters.
