@@ -1,0 +1,106 @@
+// Command lintcheck is the repo's invariant multichecker: it runs the
+// custom analyzers from internal/analysis/... (lockcheck, gencheck,
+// spancheck, yieldcheck) over the packages matching the given go-list
+// patterns and exits nonzero when any finding survives the
+// `//lint:ignore <analyzers> <reason>` suppressions.
+//
+// Usage:
+//
+//	go run ./cmd/lintcheck ./...
+//	go run ./cmd/lintcheck -checks lockcheck,gencheck ./internal/rel
+//
+// Findings print as file:line:col: message (analyzer). The analyzers and
+// the invariants they mechanize are documented in ARCHITECTURE.md
+// ("Correctness tooling") and on each analyzer package.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/gencheck"
+	"repro/internal/analysis/lockcheck"
+	"repro/internal/analysis/spancheck"
+	"repro/internal/analysis/yieldcheck"
+)
+
+// suite is every analyzer the multichecker knows.
+var suite = []*analysis.Analyzer{
+	lockcheck.Analyzer,
+	gencheck.Analyzer,
+	spancheck.Analyzer,
+	yieldcheck.Analyzer,
+}
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: lintcheck [-checks a,b] [-list] packages...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	selected, err := selectAnalyzers(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintcheck:", err)
+		os.Exit(2)
+	}
+
+	findings, err := run(patterns, selected)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintcheck:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "lintcheck: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers resolves the -checks flag against the suite.
+func selectAnalyzers(checks string) ([]*analysis.Analyzer, error) {
+	if checks == "" {
+		return suite, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(checks, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (use -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// run loads the patterns and applies the analyzers.
+func run(patterns []string, analyzers []*analysis.Analyzer) ([]analysis.Finding, error) {
+	l := &analysis.Loader{}
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.Run(pkgs, analyzers)
+}

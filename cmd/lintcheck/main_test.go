@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSelectAnalyzers(t *testing.T) {
+	all, err := selectAnalyzers("")
+	if err != nil || len(all) != len(suite) {
+		t.Fatalf("empty -checks: got %d analyzers, err %v; want full suite of %d", len(all), err, len(suite))
+	}
+	two, err := selectAnalyzers("lockcheck, yieldcheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two) != 2 || two[0].Name != "lockcheck" || two[1].Name != "yieldcheck" {
+		t.Fatalf("selected %v", two)
+	}
+	if _, err := selectAnalyzers("lockcheck,nosuch"); err == nil {
+		t.Fatal("unknown analyzer name accepted")
+	}
+}
+
+// TestRepoIsLintClean is the in-process equivalent of the CI gate
+// `go run ./cmd/lintcheck ./...`: the repo at head must carry zero
+// unsuppressed findings from the full suite.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repo; skipped in -short")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Dir(filepath.Dir(wd)) // cmd/lintcheck -> repo root
+	if err := os.Chdir(root); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+	findings, err := run([]string{"./..."}, suite)
+	if err != nil {
+		t.Fatalf("load/analyze: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("finding: %s", f)
+	}
+}

@@ -1,0 +1,140 @@
+// Package analysis is a small, dependency-free static-analysis framework
+// mirroring the shape of golang.org/x/tools/go/analysis: an Analyzer
+// inspects one type-checked package through a Pass and reports
+// Diagnostics. It exists because this module is deliberately stdlib-only;
+// the subset implemented here (per-package syntax + types, no facts, no
+// cross-analyzer requires) is exactly what the repo's invariant checkers
+// in the sibling packages (lockcheck, gencheck, spancheck, yieldcheck)
+// need.
+//
+// The Loader (load.go) type-checks packages from source, resolving every
+// import through compiler export data obtained from `go list -export`, so
+// running the suite needs nothing beyond the Go toolchain and a warm
+// build cache. The driver entry point is Run, which applies analyzers to
+// loaded packages and filters findings through `//lint:ignore` directives
+// (ignore.go). cmd/lintcheck is the command-line front end.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in lint:ignore
+	// directives. By convention a short lowercase word ("lockcheck").
+	Name string
+	// Doc states the invariant the analyzer enforces.
+	Doc string
+	// Run inspects one package and reports violations via pass.Report.
+	Run func(*Pass) error
+}
+
+// Pass connects an Analyzer to one loaded package.
+type Pass struct {
+	// Analyzer is the checker being run.
+	Analyzer *Analyzer
+	// Fset maps positions for every file in the package.
+	Fset *token.FileSet
+	// Files holds the package's parsed syntax (non-test files only).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds type and object resolution for Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Finding is a resolved diagnostic: position translated through the file
+// set and stamped with the analyzer that produced it.
+type Finding struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings, sorted by position. Findings on lines covered by a
+// `//lint:ignore <analyzers> <reason>` directive (see ignore.go) are
+// dropped; malformed directives are themselves reported.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		ig, igFindings := collectIgnores(pkg.Fset, pkg.Files)
+		out = append(out, igFindings...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			var diags []Diagnostic
+			pass.Report = func(d Diagnostic) { diags = append(diags, d) }
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				if ig.suppresses(a.Name, pos) {
+					continue
+				}
+				out = append(out, Finding{Pos: pos, Message: d.Message, Analyzer: a.Name})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// WalkStack walks the AST rooted at root in depth-first order, calling fn
+// for every node with the stack of its ancestors (outermost first, not
+// including n itself). Returning false prunes the subtree below n.
+func WalkStack(root ast.Node, fn func(stack []ast.Node, n ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(stack, n) {
+			// Not pushed: a pruned node gets no post-order nil callback.
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

@@ -1,0 +1,148 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture
+// packages and checks its diagnostics against `// want` comments, in the
+// manner of golang.org/x/tools/go/analysis/analysistest (stdlib-only, see
+// the parent package's doc). A fixture line expecting diagnostics carries
+// a trailing comment of the form
+//
+//	// want "regexp" "regexp"
+//
+// with one double-quoted regular expression per expected diagnostic on
+// that line. Diagnostics with no matching expectation, and expectations
+// with no matching diagnostic, fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// expectation is one `// want` pattern with its location.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// wantRe captures the trailing want comment on a line.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// Run loads srcRoot/<pkgpath> with moduleDir as the go-list context,
+// applies the analyzer and compares diagnostics against the fixture's
+// want comments.
+func Run(t *testing.T, moduleDir, srcRoot string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	l := &analysis.Loader{Dir: moduleDir, SrcRoot: srcRoot}
+	pkg, err := l.LoadSource(pkgpath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgpath, err)
+	}
+
+	expects, err := collectWants(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	var diags []analysis.Diagnostic
+	pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !claim(expects, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", e.file, e.line, e.pattern)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation covering (pos, msg).
+func claim(expects []*expectation, pos token.Position, msg string) bool {
+	for _, e := range expects {
+		if !e.matched && e.file == pos.Filename && e.line == pos.Line && e.pattern.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every want comment in the package's files.
+func collectWants(pkg *analysis.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := splitPatterns(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s: %v", pos, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %q: %v", pos, p, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// splitPatterns parses a sequence of double-quoted strings.
+func splitPatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			return nil, fmt.Errorf("want patterns must be double-quoted strings, at %q", s)
+		}
+		// Find the closing quote, honoring backslash escapes.
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated want pattern at %q", s)
+		}
+		p, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, fmt.Errorf("bad want pattern %q: %v", s[:end+1], err)
+		}
+		out = append(out, p)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out, nil
+}

@@ -1,0 +1,317 @@
+// Package gencheck enforces the generation-counter contract the caching
+// layers depend on (PRs 4–5): generation/version counters move only
+// through sync/atomic, only forward. A counter that ever decreases or is
+// overwritten can resurrect a stale cache entry, silently breaking the
+// monotone linearizability envelope the harnesses check.
+//
+// A field is a generation counter when it is an atomic.Uint64 whose name
+// contains a gen/seq/ver(sion) word component, or whose comment contains
+// the word "monotonic"; additionally a *plain* uint64 field whose comment
+// contains the word "atomic" is treated as an atomic counter accessed
+// through the sync/atomic package functions. For matched fields:
+//
+//   - atomic.Uint64 counters may only be used as the receiver of Load,
+//     Add and Store calls. Add's delta must not be a negative constant in
+//     disguise (a two's-complement wrap like ^uint64(0)) or a unary -/^
+//     expression; Store's value must derive from another counter's Load
+//     (the clone/snapshot idiom) — anything else can rewind the counter.
+//     Swap and CompareAndSwap are flagged the same way, and so is any raw
+//     use (copying the value, taking its address).
+//   - plain "atomic" uint64 counters must be accessed exclusively as
+//     &x.f arguments to atomic.AddUint64 / LoadUint64 / StoreUint64 /
+//     CompareAndSwapUint64, with the same delta and store rules.
+//
+// Instantaneous gauges (obs.Gauge) and max-trackers (netpeer's maxFrame)
+// deliberately match neither pattern: going down is their job.
+package gencheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the gencheck entry point.
+var Analyzer = &analysis.Analyzer{
+	Name: "gencheck",
+	Doc:  "generation counters move only through sync/atomic, only forward",
+	Run:  run,
+}
+
+var (
+	monotonicRe = regexp.MustCompile(`(?i)\bmonotonic`)
+	atomicRe    = regexp.MustCompile(`(?i)\batomic`)
+)
+
+// genWords are the name components that mark a counter as a generation.
+var genWords = map[string]bool{
+	"gen": true, "gens": true, "generation": true,
+	"seq": true, "sequence": true,
+	"ver": true, "version": true,
+}
+
+func run(pass *analysis.Pass) error {
+	atomicGens := map[types.Object]bool{} // atomic.Uint64 counters
+	plainGens := map[types.Object]bool{}  // plain uint64 "atomic" counters
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				text := fieldComment(field)
+				for _, name := range field.Names {
+					obj := pass.TypesInfo.Defs[name]
+					if obj == nil {
+						continue
+					}
+					named := isAtomicUint64(obj.Type())
+					marked := hasGenWord(name.Name) || monotonicRe.MatchString(text)
+					switch {
+					case named && marked:
+						atomicGens[obj] = true
+					case isPlainUint64(obj.Type()) && atomicRe.MatchString(text):
+						plainGens[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicGens) == 0 && len(plainGens) == 0 {
+		return nil
+	}
+
+	for _, f := range pass.Files {
+		analysis.WalkStack(f, func(stack []ast.Node, n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := pass.TypesInfo.Selections[sel]
+			if s == nil || s.Kind() != types.FieldVal {
+				return true
+			}
+			obj := s.Obj()
+			switch {
+			case atomicGens[obj]:
+				checkAtomicUse(pass, stack, sel, obj)
+			case plainGens[obj]:
+				checkPlainUse(pass, stack, sel, obj)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldComment joins a field's doc and line comments.
+func fieldComment(field *ast.Field) string {
+	text := ""
+	if field.Doc != nil {
+		text += field.Doc.Text()
+	}
+	if field.Comment != nil {
+		text += " " + field.Comment.Text()
+	}
+	return text
+}
+
+// hasGenWord reports whether a camelCase/underscore name has a component
+// in genWords.
+func hasGenWord(name string) bool {
+	for _, w := range splitWords(name) {
+		if genWords[w] {
+			return true
+		}
+	}
+	return false
+}
+
+// splitWords splits fooBarBaz / foo_bar into lowercase components.
+func splitWords(name string) []string {
+	var words []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			words = append(words, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	for _, r := range name {
+		switch {
+		case r == '_':
+			flush()
+		case r >= 'A' && r <= 'Z':
+			flush()
+			cur.WriteRune(r)
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return words
+}
+
+// isAtomicUint64 reports whether t is sync/atomic.Uint64.
+func isAtomicUint64(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && obj.Name() == "Uint64"
+}
+
+// isPlainUint64 reports whether t is the basic type uint64.
+func isPlainUint64(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint64 && t == t.Underlying()
+}
+
+// checkAtomicUse validates one use of an atomic.Uint64 generation field.
+// The legal shape is a method call: stack[...] = CallExpr -> SelectorExpr
+// (method) -> sel (the field access).
+func checkAtomicUse(pass *analysis.Pass, stack []ast.Node, sel *ast.SelectorExpr, obj types.Object) {
+	method, call := methodCallAround(stack, sel)
+	if call == nil {
+		pass.Reportf(sel.Sel.Pos(),
+			"generation counter %s used outside its atomic methods (no raw reads, copies or address-taking)", obj.Name())
+		return
+	}
+	switch method {
+	case "Load":
+		// Always fine.
+	case "Add":
+		if len(call.Args) == 1 {
+			checkDelta(pass, call.Args[0], obj)
+		}
+	case "Store":
+		if len(call.Args) == 1 && !containsLoad(call.Args[0]) {
+			pass.Reportf(call.Pos(),
+				"Store on generation counter %s can rewind it; use Add, or copy another counter via its Load", obj.Name())
+		}
+	default:
+		pass.Reportf(call.Pos(),
+			"%s on generation counter %s is not monotonicity-safe; use Load/Add, or Store from another counter's Load", method, obj.Name())
+	}
+}
+
+// methodCallAround returns the method name and call when sel is the
+// receiver of an immediately enclosing method call.
+func methodCallAround(stack []ast.Node, sel *ast.SelectorExpr) (string, *ast.CallExpr) {
+	if len(stack) < 2 {
+		return "", nil
+	}
+	m, ok := stack[len(stack)-1].(*ast.SelectorExpr)
+	if !ok || m.X != sel {
+		return "", nil
+	}
+	call, ok := stack[len(stack)-2].(*ast.CallExpr)
+	if !ok || call.Fun != m {
+		return "", nil
+	}
+	return m.Sel.Name, call
+}
+
+// checkDelta flags Add arguments that are decrements in disguise.
+func checkDelta(pass *analysis.Pass, arg ast.Expr, obj types.Object) {
+	if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if v, ok := constant.Uint64Val(tv.Value); ok && v > math.MaxInt64 {
+			pass.Reportf(arg.Pos(),
+				"Add of %s wraps around: it decrements generation counter %s", tv.Value.ExactString(), obj.Name())
+		}
+		return
+	}
+	if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && (u.Op == token.XOR || u.Op == token.SUB) {
+		pass.Reportf(arg.Pos(),
+			"Add of a %s-expression can decrement generation counter %s", u.Op, obj.Name())
+	}
+}
+
+// containsLoad reports whether the expression contains a .Load/LoadUint64
+// call — the sanctioned way to derive a stored value from another
+// counter.
+func containsLoad(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if s, ok := call.Fun.(*ast.SelectorExpr); ok && (s.Sel.Name == "Load" || s.Sel.Name == "LoadUint64") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkPlainUse validates one use of a plain "atomic" uint64 counter
+// field: it must be &x.f as the first argument of a sync/atomic call.
+func checkPlainUse(pass *analysis.Pass, stack []ast.Node, sel *ast.SelectorExpr, obj types.Object) {
+	fn, call := atomicCallAround(pass, stack, sel)
+	if call == nil {
+		pass.Reportf(sel.Sel.Pos(),
+			"counter %s is documented as atomic but accessed directly; use sync/atomic", obj.Name())
+		return
+	}
+	switch fn {
+	case "LoadUint64", "CompareAndSwapUint64":
+		// Load always fine; CAS is how monotonic maxima advance.
+	case "AddUint64":
+		if len(call.Args) == 2 {
+			checkDelta(pass, call.Args[1], obj)
+		}
+	case "StoreUint64":
+		if len(call.Args) == 2 && !containsLoad(call.Args[1]) {
+			pass.Reportf(call.Pos(),
+				"StoreUint64 on counter %s can rewind it; use AddUint64, or copy another counter via LoadUint64", obj.Name())
+		}
+	default:
+		pass.Reportf(call.Pos(), "%s is not a sanctioned atomic access for counter %s", fn, obj.Name())
+	}
+}
+
+// atomicCallAround returns the sync/atomic function name and call when
+// sel appears as &sel in a direct sync/atomic package call.
+func atomicCallAround(pass *analysis.Pass, stack []ast.Node, sel *ast.SelectorExpr) (string, *ast.CallExpr) {
+	if len(stack) < 2 {
+		return "", nil
+	}
+	u, ok := stack[len(stack)-1].(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND || u.X != sel {
+		return "", nil
+	}
+	// Walk outward past parens to the call.
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch outer := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.CallExpr:
+			fn, ok := outer.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return "", nil
+			}
+			pkg, ok := fn.X.(*ast.Ident)
+			if !ok {
+				return "", nil
+			}
+			if pn, ok := pass.TypesInfo.Uses[pkg].(*types.PkgName); !ok || pn.Imported().Path() != "sync/atomic" {
+				return "", nil
+			}
+			if len(outer.Args) == 0 || ast.Unparen(outer.Args[0]) != u {
+				return "", nil
+			}
+			return fn.Sel.Name, outer
+		default:
+			return "", nil
+		}
+	}
+	return "", nil
+}

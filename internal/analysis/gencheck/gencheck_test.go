@@ -1,0 +1,11 @@
+package gencheck
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestGencheck(t *testing.T) {
+	analysistest.Run(t, "../../..", "testdata/src", Analyzer, "genfix")
+}

@@ -1,0 +1,60 @@
+// Package genfix is the gencheck fixture: generation counters used
+// through their atomic methods, and every forbidden shape.
+package genfix
+
+import "sync/atomic"
+
+// shard mirrors the repo's generation-counter layouts.
+type shard struct {
+	gen     atomic.Uint64 // the name marks it
+	tick    atomic.Uint64 // monotonic insert counter: the comment marks it
+	hits    atomic.Uint64 // neither gen-named nor marked: unconstrained
+	rawGen  uint64        // manipulated atomically via sync/atomic
+	plain   uint64        // unmarked: unconstrained
+	spanSeq atomic.Uint64
+}
+
+// Good uses every sanctioned shape.
+func (s *shard) Good(o *shard) uint64 {
+	s.gen.Add(1)
+	s.tick.Add(2)
+	s.spanSeq.Add(1)
+	s.gen.Store(o.gen.Load())
+	atomic.AddUint64(&s.rawGen, 1)
+	_ = atomic.LoadUint64(&s.rawGen)
+	atomic.StoreUint64(&s.rawGen, atomic.LoadUint64(&o.rawGen))
+	s.plain++
+	s.hits.Store(0)
+	return s.gen.Load() + s.plain
+}
+
+// BadDecrement wraps the counter backwards.
+func (s *shard) BadDecrement() {
+	s.gen.Add(^uint64(0))      // want "wraps around: it decrements generation counter gen"
+	s.tick.Add(-1 & (1 << 63)) // want "wraps around: it decrements generation counter tick"
+	delta := uint64(1)
+	s.gen.Add(^delta)                       // want "can decrement generation counter gen"
+	atomic.AddUint64(&s.rawGen, ^uint64(0)) // want "wraps around: it decrements generation counter rawGen"
+}
+
+// BadStore rewinds counters.
+func (s *shard) BadStore() {
+	s.gen.Store(0)                   // want "Store on generation counter gen can rewind it"
+	s.spanSeq.Store(42)              // want "Store on generation counter spanSeq can rewind it"
+	atomic.StoreUint64(&s.rawGen, 7) // want "StoreUint64 on counter rawGen can rewind it"
+}
+
+// BadRaw bypasses the atomics.
+func (s *shard) BadRaw() uint64 {
+	v := s.rawGen // want "counter rawGen is documented as atomic but accessed directly"
+	s.rawGen = 1  // want "counter rawGen is documented as atomic but accessed directly"
+	g := s.gen    // want "generation counter gen used outside its atomic methods"
+	_ = g
+	return v
+}
+
+// BadSwap uses non-monotonic atomic shapes.
+func (s *shard) BadSwap() {
+	s.gen.Swap(1)              // want "Swap on generation counter gen is not monotonicity-safe"
+	s.gen.CompareAndSwap(0, 1) // want "CompareAndSwap on generation counter gen is not monotonicity-safe"
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"strings"
+)
+
+// The suppression mechanism: a comment of the form
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// suppresses the named analyzers' findings on the line it trails, or —
+// when the comment stands on a line of its own — on the line immediately
+// below it. The reason is mandatory: a suppression without a recorded
+// justification is itself reported. `all` as the analyzer list suppresses
+// every analyzer on the target line.
+
+const ignorePrefix = "//lint:ignore"
+
+// ignoreSet records which (file, line) pairs are suppressed for which
+// analyzers.
+type ignoreSet struct {
+	// byLine maps file -> line -> analyzer names (or "all").
+	byLine map[string]map[int][]string
+}
+
+func (ig *ignoreSet) suppresses(analyzer string, pos token.Position) bool {
+	if ig == nil || ig.byLine == nil {
+		return false
+	}
+	for _, name := range ig.byLine[pos.Filename][pos.Line] {
+		if name == analyzer || name == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// collectIgnores scans the files' comments for lint:ignore directives.
+// Malformed directives (missing analyzer list or missing reason) are
+// returned as findings so they cannot silently suppress nothing.
+func collectIgnores(fset *token.FileSet, files []*ast.File) (*ignoreSet, []Finding) {
+	ig := &ignoreSet{byLine: map[string]map[int][]string{}}
+	var bad []Finding
+	for _, f := range files {
+		var src []byte // file contents, read lazily to classify comments
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // some other directive, e.g. //lint:ignored
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Pos:      pos,
+						Message:  "malformed lint:ignore directive: need \"//lint:ignore <analyzers> <reason>\"",
+						Analyzer: "ignore",
+					})
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				target := pos.Line
+				if src == nil {
+					src, _ = os.ReadFile(pos.Filename)
+				}
+				if ownLine(src, pos) {
+					target = pos.Line + 1
+				}
+				m := ig.byLine[pos.Filename]
+				if m == nil {
+					m = map[int][]string{}
+					ig.byLine[pos.Filename] = m
+				}
+				m[target] = append(m[target], names...)
+			}
+		}
+	}
+	return ig, bad
+}
+
+// ownLine reports whether the comment starting at pos has only whitespace
+// before it on its line (i.e. it is not trailing code). When the source
+// is unreadable it conservatively reports false, keeping the suppression
+// on the directive's own line.
+func ownLine(src []byte, pos token.Position) bool {
+	if src == nil || pos.Offset > len(src) {
+		return false
+	}
+	for i := pos.Offset - pos.Column + 1; i < pos.Offset && i >= 0; i++ {
+		if src[i] != ' ' && src[i] != '\t' {
+			return false
+		}
+	}
+	return true
+}

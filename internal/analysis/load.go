@@ -1,0 +1,314 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Loader type-checks packages from source using only the standard
+// library. Imports are resolved through compiler export data located with
+// `go list -export`, so nothing outside the Go toolchain (and its build
+// cache) is required — the module deliberately has no dependencies, and
+// this keeps the lint suite runnable in that world.
+//
+// Two resolution modes compose:
+//
+//   - module mode (Load): patterns are resolved by `go list` relative to
+//     Dir; target packages are parsed and type-checked from source, every
+//     import (stdlib or intra-module) comes from export data.
+//   - source-root mode (SrcRoot non-empty): an import path whose
+//     directory exists under SrcRoot is type-checked from source there,
+//     recursively. This serves the analysistest GOPATH-style testdata
+//     layout, where fixture packages import sibling fixtures.
+type Loader struct {
+	// Dir is the directory `go list` runs in (the module root). Empty
+	// means the current directory.
+	Dir string
+	// SrcRoot, when non-empty, is a GOPATH-src-style root consulted
+	// before export data: import path p resolves to SrcRoot/p.
+	SrcRoot string
+
+	fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	gc      types.Importer    // export-data importer
+	srcPkgs map[string]*types.Package
+	loading map[string]bool // cycle detection for source resolution
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Standard   bool
+	Export     string
+	GoFiles    []string
+	Error      *struct{ Err string }
+	DepsErrors []struct{ Err string }
+}
+
+func (l *Loader) init() {
+	if l.fset != nil {
+		return
+	}
+	l.fset = token.NewFileSet()
+	l.exports = map[string]string{}
+	l.srcPkgs = map[string]*types.Package{}
+	l.loading = map[string]bool{}
+	l.gc = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// goList runs `go list` with the given arguments and decodes the JSON
+// package stream.
+func (l *Loader) goList(args ...string) ([]*listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := &listPkg{}
+		if err := dec.Decode(p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+const listFields = "-json=ImportPath,Dir,Name,Standard,Export,GoFiles,Error,DepsErrors"
+
+// Load resolves the go-list patterns and returns the matched packages,
+// parsed and type-checked from source. Packages without buildable Go
+// files (e.g. testdata) never match; a package that fails to compile is
+// an error — the lint suite runs on building code.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	l.init()
+	// One -deps walk compiles (or reuses from the build cache) everything
+	// the targets need and reports each dependency's export data file.
+	all, err := l.goList(append([]string{"-e", "-export", "-deps", listFields}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	meta := map[string]*listPkg{}
+	for _, p := range all {
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		meta[p.ImportPath] = p
+	}
+	// A second, dependency-free resolution names the targets themselves.
+	targets, err := l.goList(append([]string{listFields}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, t := range targets {
+		m := meta[t.ImportPath]
+		if m == nil {
+			m = t
+		}
+		if m.Error != nil {
+			return nil, fmt.Errorf("%s: %s", m.ImportPath, m.Error.Err)
+		}
+		if len(m.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := l.checkDir(m.ImportPath, m.Dir, m.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadSource loads one package from SrcRoot by import path, type-checking
+// it and any SrcRoot-resident imports from source.
+func (l *Loader) LoadSource(pkgpath string) (*Package, error) {
+	l.init()
+	if l.SrcRoot == "" {
+		return nil, fmt.Errorf("LoadSource %q: loader has no SrcRoot", pkgpath)
+	}
+	dir := filepath.Join(l.SrcRoot, filepath.FromSlash(pkgpath))
+	files, err := sourceFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.ensureExternalExports(pkgpath); err != nil {
+		return nil, err
+	}
+	return l.checkDir(pkgpath, dir, files)
+}
+
+// sourceFiles lists the non-test .go files of dir, sorted.
+func sourceFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, name)
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%s: no Go source files", dir)
+	}
+	return files, nil
+}
+
+// ensureExternalExports walks the SrcRoot package graph reachable from
+// pkgpath, collects every import that does not resolve inside SrcRoot and
+// fetches export data for the whole set with one `go list` call.
+func (l *Loader) ensureExternalExports(pkgpath string) error {
+	seen := map[string]bool{}
+	external := map[string]bool{}
+	var walk func(p string) error
+	walk = func(p string) error {
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		dir := filepath.Join(l.SrcRoot, filepath.FromSlash(p))
+		files, err := sourceFiles(dir)
+		if err != nil {
+			return err
+		}
+		for _, name := range files {
+			f, err := parser.ParseFile(token.NewFileSet(), filepath.Join(dir, name), nil, parser.ImportsOnly)
+			if err != nil {
+				return err
+			}
+			for _, imp := range f.Imports {
+				ip := strings.Trim(imp.Path.Value, `"`)
+				if st, err := os.Stat(filepath.Join(l.SrcRoot, filepath.FromSlash(ip))); err == nil && st.IsDir() {
+					if err := walk(ip); err != nil {
+						return err
+					}
+				} else if ip != "unsafe" {
+					external[ip] = true
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(pkgpath); err != nil {
+		return err
+	}
+	var missing []string
+	for p := range external {
+		if _, ok := l.exports[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	sort.Strings(missing)
+	all, err := l.goList(append([]string{"-e", "-export", "-deps", listFields}, missing...)...)
+	if err != nil {
+		return err
+	}
+	for _, p := range all {
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	return nil
+}
+
+// checkDir parses and type-checks one package's files.
+func (l *Loader) checkDir(pkgpath, dir string, names []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := conf.Check(pkgpath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", pkgpath, err)
+	}
+	return &Package{PkgPath: pkgpath, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// loaderImporter resolves imports during type checking: SrcRoot source
+// packages first (recursively), export data for everything else.
+type loaderImporter Loader
+
+func (imp *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(imp)
+	if p, ok := l.srcPkgs[path]; ok {
+		return p, nil
+	}
+	if l.SrcRoot != "" {
+		dir := filepath.Join(l.SrcRoot, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			if l.loading[path] {
+				return nil, fmt.Errorf("import cycle through %q", path)
+			}
+			l.loading[path] = true
+			defer delete(l.loading, path)
+			files, err := sourceFiles(dir)
+			if err != nil {
+				return nil, err
+			}
+			pkg, err := l.checkDir(path, dir, files)
+			if err != nil {
+				return nil, err
+			}
+			l.srcPkgs[path] = pkg.Types
+			return pkg.Types, nil
+		}
+	}
+	return l.gc.Import(path)
+}

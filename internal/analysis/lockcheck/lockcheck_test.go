@@ -1,0 +1,11 @@
+package lockcheck
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestLockcheck(t *testing.T) {
+	analysistest.Run(t, "../../..", "testdata/src", Analyzer, "lockfix")
+}

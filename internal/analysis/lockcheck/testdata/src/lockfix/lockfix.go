@@ -1,0 +1,81 @@
+// Package lockfix is the lockcheck fixture: annotated guarded fields
+// accessed with and without their mutexes held.
+package lockfix
+
+import "sync"
+
+// box carries machine-checked guard annotations.
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	// n is guarded by mu.
+	n int
+	m map[string]int // guarded by rw
+	// free is guarded by the box's own bookkeeping (no field name: the
+	// annotation is prose, not machine-checked).
+	free int
+	// plain has no guard annotation at all.
+	plain int
+}
+
+// GoodLock accesses n under mu.
+func (b *box) GoodLock() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// GoodRLock accesses m under the read half of rw.
+func (b *box) GoodRLock() int {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return b.m["k"]
+}
+
+// BadDirect reads n without any lock.
+func (b *box) BadDirect() int {
+	return b.n // want "b.n is guarded by mu"
+}
+
+// BadWrongMutex holds mu while touching the rw-guarded map.
+func (b *box) BadWrongMutex() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.m["k"] = 1 // want "b.m is guarded by rw"
+}
+
+// BadWrongBase locks one box and touches another.
+func BadWrongBase(a, b *box) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return b.n // want "b.n is guarded by mu"
+}
+
+// incLocked is exempt by the *Locked naming convention.
+func (b *box) incLocked() {
+	b.n++
+}
+
+// GoodClosure acquires in the enclosing function; the closure inherits
+// the position-based hold.
+func (b *box) GoodClosure() func() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f := func() int { return b.n }
+	return f
+}
+
+// BadClosure accesses inside a closure with no acquisition anywhere in
+// the enclosing declaration.
+func (b *box) BadClosure() func() int {
+	return func() int { return b.n } // want "b.n is guarded by mu"
+}
+
+// GoodComposite builds a fresh unshared value with a composite literal.
+func GoodComposite(n int) *box {
+	return &box{n: n, m: map[string]int{}}
+}
+
+// GoodProse may access free without locks: its guard comment names no
+// sibling mutex field, so it is not machine-checked.
+func (b *box) GoodProse() int { return b.free + b.plain }

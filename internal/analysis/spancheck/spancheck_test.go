@@ -1,0 +1,15 @@
+package spancheck
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestSpancheckNilGuards(t *testing.T) {
+	analysistest.Run(t, "../../..", "testdata/src", Analyzer, "obs")
+}
+
+func TestSpancheckMetricNames(t *testing.T) {
+	analysistest.Run(t, "../../..", "testdata/src", Analyzer, "spanuse")
+}

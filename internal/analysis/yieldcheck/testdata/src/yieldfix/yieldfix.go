@@ -1,0 +1,79 @@
+// Package yieldfix is the yieldcheck fixture: yield callbacks consumed
+// correctly and every dropping shape.
+package yieldfix
+
+import "errors"
+
+// ErrStop mirrors the engine's enumeration sentinel.
+var ErrStop = errors.New("stop")
+
+// GoodReturn propagates directly.
+func GoodReturn(items []int, yield func(int) error) error {
+	for _, it := range items {
+		if err := yield(it); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GoodAbsorb implements the engine idiom: ErrStop is absorbed, real
+// errors propagate.
+func GoodAbsorb(items []int, yield func(int) error) error {
+	for _, it := range items {
+		if err := yield(it); err != nil {
+			if errors.Is(err, ErrStop) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// GoodClosure consumes the yield inside a nested closure.
+func GoodClosure(yield func(int) error) error {
+	run := func() error {
+		return yield(1)
+	}
+	return run()
+}
+
+// BadDrop calls the yield as a statement.
+func BadDrop(items []int, yield func(int) error) {
+	for _, it := range items {
+		yield(it) // want "result of yield callback yield is dropped"
+	}
+}
+
+// BadBlank assigns the error to blank.
+func BadBlank(yield func(int) error) {
+	_ = yield(1) // want "assigned to _"
+}
+
+// BadGo launches the yield asynchronously.
+func BadGo(yield func(int) error) {
+	go yield(1) // want "go yield\\(\\.\\.\\.\\) structurally discards"
+}
+
+// BadDefer defers the yield.
+func BadDefer(yield func(int) error) {
+	defer yield(1) // want "defer yield\\(\\.\\.\\.\\) structurally discards"
+}
+
+// BadClosureDrop drops inside a closure over the parameter.
+func BadClosureDrop(yield func(int) error) func() {
+	return func() {
+		yield(2) // want "result of yield callback yield is dropped"
+	}
+}
+
+// NotYield takes a func with a non-error result: unconstrained.
+func NotYield(emit func(int) bool) {
+	emit(1)
+}
+
+// MultiResult takes a func returning more than an error: unconstrained.
+func MultiResult(f func(int) (int, error)) {
+	f(1)
+}

@@ -1,0 +1,120 @@
+// Package yieldcheck enforces the enumeration-hook contract of the
+// engine's streaming API (StreamCQ, StreamScan, ProbeByKeyBatchYield and
+// every other function taking a `func(...) error` yield): the error a
+// yield callback returns is control flow — engine.ErrStop means "stop
+// enumerating", anything else aborts the query — so a caller that drops
+// it breaks early termination and error propagation at once.
+//
+// For every function or closure with a parameter of function type whose
+// only result is error, each call of that parameter must consume the
+// result: flagged are bare call statements, assignments to blank, and
+// go/defer calls (whose results are structurally discarded).
+package yieldcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the yieldcheck entry point.
+var Analyzer = &analysis.Analyzer{
+	Name: "yieldcheck",
+	Doc:  "yield-style callbacks' errors (including ErrStop) must be consumed, never dropped",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// yieldParams collects every parameter object of type func(...)
+	// error across the package, closures included.
+	yieldParams := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				ft = n.Type
+			case *ast.FuncLit:
+				ft = n.Type
+			default:
+				return true
+			}
+			for _, field := range ft.Params.List {
+				for _, name := range field.Names {
+					obj := pass.TypesInfo.Defs[name]
+					if obj != nil && isErrFunc(obj.Type()) {
+						yieldParams[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(yieldParams) == 0 {
+		return nil
+	}
+
+	for _, f := range pass.Files {
+		analysis.WalkStack(f, func(stack []ast.Node, n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || !yieldParams[pass.TypesInfo.Uses[id]] {
+				return true
+			}
+			if len(stack) == 0 {
+				return true
+			}
+			switch parent := stack[len(stack)-1].(type) {
+			case *ast.ExprStmt:
+				pass.Reportf(call.Pos(),
+					"result of yield callback %s is dropped; its error (including ErrStop) is the enumeration control flow", id.Name)
+			case *ast.GoStmt:
+				pass.Reportf(call.Pos(),
+					"go %s(...) structurally discards the yield's error; call it synchronously and propagate", id.Name)
+			case *ast.DeferStmt:
+				pass.Reportf(call.Pos(),
+					"defer %s(...) structurally discards the yield's error; call it synchronously and propagate", id.Name)
+			case *ast.AssignStmt:
+				if assignsToBlank(parent, call) {
+					pass.Reportf(call.Pos(),
+						"result of yield callback %s is assigned to _; handle the error (including ErrStop)", id.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isErrFunc reports whether t is a function type whose only result is
+// error.
+func isErrFunc(t types.Type) bool {
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	named, ok := sig.Results().At(0).Type().(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// assignsToBlank reports whether call's value lands in a blank
+// identifier within assign.
+func assignsToBlank(assign *ast.AssignStmt, call *ast.CallExpr) bool {
+	for i, rhs := range assign.Rhs {
+		if ast.Unparen(rhs) != call {
+			continue
+		}
+		// 1:1 assignment: the matching LHS; tuple-from-call cannot happen
+		// for a single-result function.
+		if len(assign.Lhs) == len(assign.Rhs) {
+			if id, ok := assign.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+package yieldcheck
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestYieldcheck(t *testing.T) {
+	analysistest.Run(t, "../../..", "testdata/src", Analyzer, "yieldfix")
+}

@@ -130,9 +130,12 @@ type idxShard struct {
 	// mu's read lock covers the fast path (sub-index already caught up
 	// with its shard's log), so concurrent probes of one shard proceed in
 	// parallel; the write lock is only taken to consume new log entries.
-	mu       sync.RWMutex
+	mu sync.RWMutex
+	// consumed is how many log entries this sub-index has folded in,
+	// guarded by mu.
 	consumed uint64
-	buckets  map[string][]rel.Tuple
+	// buckets maps composite probe keys to matching tuples, guarded by mu.
+	buckets map[string][]rel.Tuple
 }
 
 // AppendKeyPart appends one key component with a length prefix, so
@@ -195,7 +198,7 @@ type Engine struct {
 	// is then guarded per shard inside the index, so concurrent probes of
 	// different shards proceed in parallel.
 	mu      sync.RWMutex
-	indexes map[string]map[string]*index // pred -> column-set key -> index
+	indexes map[string]map[string]*index // pred -> column-set key -> index; guarded by mu
 
 	probes        atomic.Uint64
 	scans         atomic.Uint64
@@ -272,6 +275,7 @@ func (e *Engine) getIndex(r *rel.Relation, cols []int) *index {
 	if idx == nil {
 		idx = &index{cols: cols, shards: make([]idxShard, r.NumShards())}
 		for i := range idx.shards {
+			//lint:ignore lockcheck the index is freshly built and unpublished; no probe can reach its shard locks until byCols[ck] is set below
 			idx.shards[i].buckets = map[string][]rel.Tuple{}
 		}
 		byCols[ck] = idx

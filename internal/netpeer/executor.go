@@ -91,11 +91,13 @@ type Executor struct {
 
 	mu sync.Mutex
 	// addr maps each stored relation to the address of the serving peer.
+	// Guarded by mu.
 	addr map[string]string
 	// card holds per-relation cardinality estimates, seeded by Discover
 	// and refreshed from the estimates piggybacked on every response.
 	// They feed the join-order heuristic and the adaptive bind-vs-fetch
-	// choice (stale values shift the plan, never the answer).
+	// choice (stale values shift the plan, never the answer). Guarded by
+	// mu.
 	card map[string]int
 	// gens holds the latest per-relation generation observed for each
 	// routed relation, with the local time of the observation — refreshed
@@ -103,8 +105,9 @@ type Executor struct {
 	// correctness contract: the fragment cache serves an entry only when
 	// its stamped generation equals a sufficiently fresh observation
 	// (within FragmentTrust, or from an explicit gens revalidation).
+	// Guarded by mu.
 	gens map[string]genObservation
-	// pools holds one connection pool per peer address.
+	// pools holds one connection pool per peer address. Guarded by mu.
 	pools map[string]*pool
 	// plans is shared by the per-join scratch engines of the FetchAll path.
 	plans *engine.PlanCache

@@ -43,8 +43,8 @@ type pool struct {
 	pingAfter time.Duration
 
 	mu     sync.Mutex
-	idle   []idleConn
-	closed bool
+	idle   []idleConn // guarded by mu
+	closed bool       // guarded by mu
 }
 
 func newPool(addr string, counters *Counters, onMeta func(preds []string, cards []int, gens []uint64), pingAfter time.Duration) *pool {

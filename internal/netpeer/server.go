@@ -142,15 +142,15 @@ type Server struct {
 	WriteTimeout time.Duration
 
 	mu   sync.RWMutex
-	data *rel.Instance
+	data *rel.Instance // guarded by mu (writes via AddFact; streams read under RLock)
 	eng  *engine.Engine
 
 	// reqHist times every request (decode to final frame written),
 	// exported as server.request_seconds by RegisterMetrics.
 	reqHist *obs.Histogram
 
-	lis    net.Listener
-	cancel context.CancelFunc
+	lis    net.Listener       // guarded by mu (Start publishes, Close consumes)
+	cancel context.CancelFunc // guarded by mu
 	wg     sync.WaitGroup
 
 	requests   atomic.Uint64
@@ -213,21 +213,27 @@ func (s *Server) Start(addr string) (string, error) {
 		return "", err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	s.mu.Lock()
 	s.lis = lis
 	s.cancel = cancel
+	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.acceptLoop(ctx, lis)
 	return lis.Addr().String(), nil
 }
 
-// Close stops the listener and waits for in-flight connections.
+// Close stops the listener and waits for in-flight connections. It is
+// safe to call from a goroutine other than the one that called Start.
 func (s *Server) Close() error {
-	if s.cancel != nil {
-		s.cancel()
+	s.mu.Lock()
+	lis, cancel := s.lis, s.cancel
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
 	}
 	var err error
-	if s.lis != nil {
-		err = s.lis.Close()
+	if lis != nil {
+		err = lis.Close()
 	}
 	s.wg.Wait()
 	return err

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// bucketFor mirrors Observe's search: the first bound >= s.
+func bucketFor(s float64) int {
+	for i, b := range histBounds {
+		if b >= s {
+			return i
+		}
+	}
+	return histNumBuckets
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	snap := NewHistogram().Snapshot()
+	if snap.Count != 0 || snap.Sum != 0 {
+		t.Fatalf("empty histogram: Count %d Sum %g", snap.Count, snap.Sum)
+	}
+	if snap.P50 != 0 || snap.P99 != 0 || snap.P999 != 0 {
+		t.Fatalf("empty histogram quantiles: %g %g %g", snap.P50, snap.P99, snap.P999)
+	}
+	if snap.Bounds != nil || snap.Counts != nil {
+		t.Fatalf("empty histogram exposed buckets: %v %v", snap.Bounds, snap.Counts)
+	}
+}
+
+// TestHistogramSingleBucketSaturation pins the exact interpolation math
+// when every observation lands in one bucket: with n samples in bucket i,
+// the q-quantile is lower + (upper-lower) * ceil(q*n)/n.
+func TestHistogramSingleBucketSaturation(t *testing.T) {
+	h := NewHistogram()
+	d := time.Millisecond
+	for i := 0; i < 4; i++ {
+		h.Observe(d)
+	}
+	i := bucketFor(d.Seconds())
+	lower := 0.0
+	if i > 0 {
+		lower = histBounds[i-1]
+	}
+	upper := histBounds[i]
+	snap := h.Snapshot()
+	if snap.Count != 4 {
+		t.Fatalf("Count = %d, want 4", snap.Count)
+	}
+	if want := 4 * d.Seconds(); math.Abs(snap.Sum-want) > 1e-12 {
+		t.Fatalf("Sum = %g, want %g", snap.Sum, want)
+	}
+	// rank(0.50, 4) = 2 -> midpoint; rank(0.99, 4) = rank(0.999, 4) = 4 -> upper.
+	if want := lower + (upper-lower)*0.5; snap.P50 != want {
+		t.Fatalf("P50 = %g, want %g", snap.P50, want)
+	}
+	if snap.P99 != upper || snap.P999 != upper {
+		t.Fatalf("P99/P999 = %g/%g, want %g", snap.P99, snap.P999, upper)
+	}
+	if len(snap.Bounds) != i+1 || len(snap.Counts) != i+1 {
+		t.Fatalf("exposed %d buckets, want prefix through bucket %d", len(snap.Bounds), i)
+	}
+	if snap.Bounds[i] != upper || snap.Counts[i] != 4 {
+		t.Fatalf("bucket %d: bound %g count %d, want %g and 4", i, snap.Bounds[i], snap.Counts[i], upper)
+	}
+	for j := 0; j < i; j++ {
+		if snap.Counts[j] != 0 {
+			t.Fatalf("cumulative count below the hit bucket: Counts[%d] = %d", j, snap.Counts[j])
+		}
+	}
+}
+
+// TestHistogramOverflow: observations past the last bound are counted but
+// quantiles saturate at the last finite bound, and with no finite bucket
+// hit the exposed bucket prefix stays empty.
+func TestHistogramOverflow(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(300 * time.Second) // last bound is ~268s
+	snap := h.Snapshot()
+	if snap.Count != 1 {
+		t.Fatalf("Count = %d, want 1", snap.Count)
+	}
+	last := histBounds[histNumBuckets-1]
+	if last >= 300 {
+		t.Fatalf("layout changed: last bound %g no longer below the overflow sample", last)
+	}
+	if snap.P50 != last || snap.P99 != last || snap.P999 != last {
+		t.Fatalf("overflow quantiles %g/%g/%g, want last bound %g", snap.P50, snap.P99, snap.P999, last)
+	}
+	if snap.Bounds != nil {
+		t.Fatalf("overflow-only histogram exposed finite buckets: %v", snap.Bounds)
+	}
+}
+
+// TestHistogramNegativeClamp: negative durations clamp to zero and land in
+// the first bucket, contributing nothing to the sum.
+func TestHistogramNegativeClamp(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-time.Second)
+	snap := h.Snapshot()
+	if snap.Count != 1 || snap.Sum != 0 {
+		t.Fatalf("Count %d Sum %g, want 1 and 0", snap.Count, snap.Sum)
+	}
+	if len(snap.Counts) != 1 || snap.Counts[0] != 1 || snap.Bounds[0] != histBounds[0] {
+		t.Fatalf("clamped sample not in bucket 0: bounds %v counts %v", snap.Bounds, snap.Counts)
+	}
+	// rank 1 of 1 in bucket 0: lower 0, upper histBounds[0], frac 1.
+	if snap.P50 != histBounds[0] {
+		t.Fatalf("P50 = %g, want %g", snap.P50, histBounds[0])
+	}
+}
+
+// TestHistogramConcurrentObserveSnapshot hammers Observe from several
+// goroutines while snapshotting continuously: snapshots must stay
+// internally consistent (cumulative counts monotone, Count >= cumulative
+// finite total) and the final snapshot must account for every sample.
+func TestHistogramConcurrentObserveSnapshot(t *testing.T) {
+	h := NewHistogram()
+	const writers, perWriter = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(time.Duration(w*i) * time.Microsecond)
+			}
+		}(w)
+	}
+	var snapErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := h.Snapshot()
+			var prev uint64
+			for i, c := range snap.Counts {
+				if c < prev {
+					snapErr = &nonMonotone{i: i, c: c, prev: prev}
+					return
+				}
+				prev = c
+			}
+			if snap.Count < prev {
+				snapErr = &nonMonotone{i: -1, c: snap.Count, prev: prev}
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-done
+	if snapErr != nil {
+		t.Fatal(snapErr)
+	}
+	if got := h.Snapshot().Count; got != writers*perWriter {
+		t.Fatalf("final Count = %d, want %d", got, writers*perWriter)
+	}
+}
+
+type nonMonotone struct {
+	i       int
+	c, prev uint64
+}
+
+func (e *nonMonotone) Error() string {
+	if e.i < 0 {
+		return "snapshot Count below cumulative finite total"
+	}
+	return "cumulative bucket counts decreased"
+}

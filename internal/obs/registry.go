@@ -102,11 +102,12 @@ type SnapshotData struct {
 // lock-free (atomics); registration and snapshotting take an internal
 // mutex (cold paths). The zero value is unusable; use NewRegistry.
 type Registry struct {
-	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
-	groups   map[string]func(*Emitter)
+	mu sync.RWMutex
+	// The instrument namespaces are all guarded by mu.
+	counters map[string]*Counter       // guarded by mu
+	gauges   map[string]*Gauge         // guarded by mu
+	hists    map[string]*Histogram     // guarded by mu
+	groups   map[string]func(*Emitter) // guarded by mu
 }
 
 // NewRegistry returns an empty registry.

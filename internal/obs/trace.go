@@ -44,13 +44,20 @@ type Span struct {
 	parent *Span
 	name   string
 	start  time.Time
-	remote string // serving peer address for adopted remote spans
 
-	mu       sync.Mutex
-	attrs    []Attr
+	mu sync.Mutex
+	// attrs holds the span's key/value labels, guarded by mu.
+	attrs []Attr
+	// children holds the completed and in-flight child spans, guarded by mu.
 	children []*Span
-	dur      time.Duration
-	ended    bool
+	// dur is the span's final duration once ended, guarded by mu.
+	dur time.Duration
+	// ended records that End (or remote adoption) ran, guarded by mu.
+	ended bool
+	// remote is the serving peer address for adopted remote spans,
+	// guarded by mu: adoption happens while a live trace may already be
+	// rendered.
+	remote string
 }
 
 // newTraceID returns a random 64-bit hex trace identifier.
@@ -250,8 +257,8 @@ func (s *Span) AdoptRemote(peer string, spans []SpanData) {
 		if c == nil {
 			return // trace span budget exhausted; trace is marked truncated
 		}
-		c.remote = peer
 		c.mu.Lock()
+		c.remote = peer
 		c.dur = time.Duration(d.Dur)
 		c.ended = true
 		c.mu.Unlock()
@@ -344,6 +351,8 @@ func (s *Span) Remote() string {
 	if s == nil {
 		return ""
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.remote
 }
 
@@ -370,10 +379,14 @@ type Tracer struct {
 	seq         atomic.Uint64
 	maxSpans    int
 
-	mu   sync.Mutex
-	ring []*Span // finished root spans, ring[next-1] most recent
+	mu sync.Mutex
+	// ring holds finished root spans, ring[next-1] most recent; guarded
+	// by mu.
+	ring []*Span
+	// next is the ring cursor, guarded by mu.
 	next int
-	n    uint64 // total recorded
+	// n is the total recorded count, guarded by mu.
+	n uint64
 }
 
 // NewTracer returns a tracer ring-buffering the last ringCap finished

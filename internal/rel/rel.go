@@ -80,13 +80,16 @@ func ShardOf(v string, n int) int {
 // sketches, all guarded by the shard's own mutex so inserts and index
 // catch-ups on different shards never contend.
 type shard struct {
-	mu     sync.Mutex
+	mu sync.Mutex
+	// tuples is the shard's tuple set, guarded by mu.
 	tuples map[string]Tuple
-	log    []Tuple
+	// log is the shard's append-only insert log, guarded by mu.
+	log []Tuple
 	// gen counts this shard's inserts (== len(log)). Atomic so generation
 	// reads (cache keys, piggybacks) never take the shard lock.
 	gen atomic.Uint64
-	// distinct holds one sketch per column, updated on every insert.
+	// distinct holds one sketch per column, updated on every insert;
+	// guarded by mu.
 	distinct []sketch
 }
 
@@ -104,8 +107,10 @@ type Relation struct {
 	// sortedMu guards the cached deterministic (sorted) tuple order; the
 	// cache is tagged with the Version it was built at and rebuilt when the
 	// relation has grown past it.
-	sortedMu  sync.Mutex
-	sorted    []Tuple
+	sortedMu sync.Mutex
+	// sorted is the cached sorted order, guarded by sortedMu.
+	sorted []Tuple
+	// sortedVer is the Version sorted was built at, guarded by sortedMu.
 	sortedVer uint64
 }
 
@@ -320,19 +325,28 @@ func (ins *Instance) Clone() *Instance {
 	for name, r := range ins.rels {
 		nr := NewRelationSharded(name, r.Arity, r.NumShards())
 		for i, s := range r.shards {
-			ns := nr.shards[i]
+			// Build the copy in locals and publish it fully formed: the
+			// fresh shard is unshared, so only the source shard's lock is
+			// needed.
 			s.mu.Lock()
+			tuples := make(map[string]Tuple, len(s.tuples))
 			for k, t := range s.tuples {
-				ns.tuples[k] = t
+				tuples[k] = t
 			}
-			// Full-slice expression: later appends to either log must not
-			// share backing storage.
-			ns.log = s.log[:len(s.log):len(s.log)]
-			ns.gen.Store(s.gen.Load())
+			distinct := make([]sketch, len(s.distinct))
 			for c := range s.distinct {
-				ns.distinct[c] = s.distinct[c].clone()
+				distinct[c] = s.distinct[c].clone()
 			}
+			ns := &shard{
+				tuples: tuples,
+				// Full-slice expression: later appends to either log must
+				// not share backing storage.
+				log:      s.log[:len(s.log):len(s.log)],
+				distinct: distinct,
+			}
+			ns.gen.Store(s.gen.Load())
 			s.mu.Unlock()
+			nr.shards[i] = ns
 		}
 		out.rels[name] = nr
 	}

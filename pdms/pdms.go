@@ -57,8 +57,8 @@ const (
 // slices.
 type Network struct {
 	mu   sync.RWMutex
-	spec *ppl.PDMS
-	data *rel.Instance
+	spec *ppl.PDMS     // guarded by mu (Extend swaps it; queries read it)
+	data *rel.Instance // guarded by mu (all mutation goes through AddFact)
 	opts Options
 	eng  *engine.Engine
 	// specGen counts spec mutations (Extend); it keys the reformulation
@@ -66,11 +66,11 @@ type Network struct {
 	// never bump it (AddFact cannot change reformulations) — they advance
 	// the mutated relation's own insert counter instead, which answer keys
 	// embed per relation. Stale keys simply never match and age out of the
-	// LRUs.
+	// LRUs. Guarded by mu.
 	specGen uint64
 	// invalidations counts generation-bumping mutation events (AddFact
 	// that inserted a new tuple, every Extend) for observability; written
-	// under the write lock, read under either lock.
+	// under the write lock, read under either lock. Guarded by mu.
 	invalidations uint64
 	answers       *engine.LRU
 	reforms       *engine.LRU
@@ -201,6 +201,8 @@ func (n *Network) Extend(src string) error {
 }
 
 // Spec exposes the underlying PPL specification (read-only use intended).
+//
+//lint:ignore lockcheck deliberate read-only escape hatch: the pointer is swapped atomically-enough under Extend's lock and callers are documented not to mutate through it
 func (n *Network) Spec() *ppl.PDMS { return n.spec }
 
 // Data exposes the stored-relation instance. Read-only: mutating it
@@ -208,6 +210,8 @@ func (n *Network) Spec() *ppl.PDMS { return n.spec }
 // counters that answer-cache keys are built from are only read safely
 // under it), so cached answers could be served stale. All mutation must go
 // through AddFact or Extend.
+//
+//lint:ignore lockcheck deliberate read-only escape hatch: the instance pointer never changes after construction; the doc comment above warns against mutating through it
 func (n *Network) Data() *rel.Instance { return n.data }
 
 // AddFact inserts a tuple into a stored relation. The insert advances that
