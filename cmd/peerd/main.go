@@ -29,10 +29,12 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/netpeer"
 	"repro/internal/obs"
 	"repro/internal/parser"
+	"repro/internal/store"
 )
 
 // traceRingSize bounds the finished request traces kept for /debug/traces.
@@ -42,6 +44,7 @@ const traceRingSize = 64
 type options struct {
 	addr        string
 	httpAddr    string // "" leaves the operational endpoint off
+	dataDir     string // "" keeps the stored relations purely in memory
 	logFormat   string // "text" or "json"
 	traceSample int
 }
@@ -50,11 +53,12 @@ func main() {
 	var opts options
 	flag.StringVar(&opts.addr, "addr", "127.0.0.1:0", "peer protocol listen address")
 	flag.StringVar(&opts.httpAddr, "http", "", "operational HTTP listen address (/metrics, /debug/traces, /debug/pprof); empty = disabled")
+	flag.StringVar(&opts.dataDir, "data", "", "segment directory for durable stored relations: replayed on startup, journaled while serving, flushed+fsynced on shutdown; empty = in-memory only")
 	flag.StringVar(&opts.logFormat, "log-format", "text", "log record format: text or json")
 	flag.IntVar(&opts.traceSample, "trace-sample", 1, "trace knob: >0 honors and records callers' traced requests, 0 disables server-side tracing")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: peerd [-addr host:port] [-http host:port] [-log-format text|json] [-trace-sample n] spec.ppl")
+		fmt.Fprintln(os.Stderr, "usage: peerd [-addr host:port] [-http host:port] [-data dir] [-log-format text|json] [-trace-sample n] spec.ppl")
 		os.Exit(2)
 	}
 	d, err := start(flag.Arg(0), opts)
@@ -82,6 +86,9 @@ type daemon struct {
 	httpAddr string // bound HTTP address ("" when disabled)
 	httpSrv  *http.Server
 
+	// store is the durable segment journal (-data); nil when in-memory.
+	store *store.Dir
+
 	log *slog.Logger
 }
 
@@ -105,15 +112,49 @@ func start(path string, opts options) (*daemon, error) {
 	}
 
 	d := &daemon{
-		srv:      netpeer.NewServer(res.Data),
 		registry: obs.NewRegistry(),
 		tracer:   obs.NewTracer(traceRingSize),
 		log:      newLogger(opts.logFormat),
 	}
+
+	// With -data, the served instance is the segment journal's: replay what
+	// is on disk, attach the journal hooks, then merge the spec's facts on
+	// top (journaled, deduplicated against the recovered data).
+	data := res.Data
+	if opts.dataDir != "" {
+		ds, err := store.Open(opts.dataDir, store.Options{})
+		if err != nil {
+			return nil, err
+		}
+		replayStart := time.Now()
+		recovered, recs, err := ds.Recover(0)
+		if err != nil {
+			return nil, fmt.Errorf("replaying %s: %w", opts.dataDir, err)
+		}
+		for _, rec := range recs {
+			d.log.Info("recovered relation", "pred", rec.Pred,
+				"tuples", rec.Tuples, "gen", rec.Gen,
+				"segments", rec.Segments, "truncated_bytes", rec.TruncatedBytes)
+		}
+		d.log.Info("segment replay complete", "dir", opts.dataDir,
+			"relations", len(recs), "elapsed", time.Since(replayStart))
+		ds.Attach(recovered)
+		for _, pred := range res.Data.Relations() {
+			for _, t := range res.Data.Relation(pred).Tuples() {
+				if _, err := recovered.Add(pred, t); err != nil {
+					return nil, fmt.Errorf("journaling %s: %w", pred, err)
+				}
+			}
+		}
+		data, d.store = recovered, ds
+	}
+
+	d.srv = netpeer.NewServer(data)
 	d.tracer.SetSampleEvery(opts.traceSample)
 	d.srv.Logger = d.log.With("component", "server")
 	d.srv.Tracer = d.tracer
 	d.srv.RegisterMetrics(d.registry)
+	store.RegisterMetrics(d.registry, d.store)
 
 	bound, err := d.srv.Start(opts.addr)
 	if err != nil {
@@ -121,9 +162,9 @@ func start(path string, opts options) (*daemon, error) {
 	}
 	d.bound = bound
 	d.log.Info("serving", "addr", bound,
-		"relations", len(res.Data.Relations()), "facts", res.Data.Size())
-	for _, pred := range res.Data.Relations() {
-		d.log.Info("relation", "pred", pred, "tuples", res.Data.Relation(pred).Len())
+		"relations", len(data.Relations()), "facts", data.Size())
+	for _, pred := range data.Relations() {
+		d.log.Info("relation", "pred", pred, "tuples", data.Relation(pred).Len())
 	}
 
 	if opts.httpAddr != "" {
@@ -145,4 +186,14 @@ func (d *daemon) close() {
 		d.httpSrv.Close()
 	}
 	d.srv.Close()
+	if d.store != nil {
+		// Graceful shutdown: push every buffered frame to disk and fsync
+		// the open tail segments before the process exits, so a clean stop
+		// replays without truncation.
+		if err := d.store.Close(); err != nil {
+			d.log.Error("segment flush failed", "err", err)
+		} else {
+			d.log.Info("segments flushed and synced")
+		}
+	}
 }

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/lang"
 	"repro/internal/rel"
+	"repro/internal/store"
 )
 
 // ErrStop is returned by an Enumerate yield callback to stop enumeration
@@ -186,6 +187,13 @@ func appendProbeKey(dst []byte, vals []string) []byte {
 // netpeer.Server). Indexes catch up with inserts shard by shard on the
 // next probe.
 type Engine struct {
+	// data is the storage view every read path (scans, probes, indexes,
+	// stats) consumes; the engine never depends on the concrete in-memory
+	// representation behind it.
+	data store.Instance
+	// ins is the concrete instance behind data when the engine was built
+	// over one (New/NewWithPlanCache); nil for engines over other backends
+	// (NewFromStore). Only the Instance() escape hatch reads it.
 	ins   *rel.Instance
 	plans *PlanCache
 
@@ -214,13 +222,23 @@ func New(ins *rel.Instance) *Engine {
 
 // NewWithPlanCache returns an engine over ins sharing the given plan cache.
 func NewWithPlanCache(ins *rel.Instance, pc *PlanCache) *Engine {
+	e := NewFromStore(store.InstanceOf(ins), pc)
+	e.ins = ins
+	return e
+}
+
+// NewFromStore returns an engine over an arbitrary storage backend sharing
+// the given plan cache (nil for a private one). Instance() returns nil for
+// such engines — there is no concrete rel.Instance behind them.
+func NewFromStore(data store.Instance, pc *PlanCache) *Engine {
 	if pc == nil {
 		pc = NewPlanCache(1024)
 	}
-	return &Engine{ins: ins, plans: pc, indexes: map[string]map[string]*index{}}
+	return &Engine{data: data, plans: pc, indexes: map[string]map[string]*index{}}
 }
 
-// Instance returns the underlying instance.
+// Instance returns the concrete instance the engine was built over, or nil
+// when the engine runs over a non-rel backend (NewFromStore).
 func (e *Engine) Instance() *rel.Instance { return e.ins }
 
 // Stats returns a snapshot of the engine counters.
@@ -236,17 +254,18 @@ func (e *Engine) Stats() Stats {
 
 // card estimates a relation's cardinality (0 when absent).
 func (e *Engine) card(pred string) int {
-	if r := e.ins.Relation(pred); r != nil {
+	if r := e.data.Relation(pred); r != nil {
 		return r.Len()
 	}
 	return 0
 }
 
 // colStats returns the planner statistics for pred: cardinality plus the
-// per-column distinct-value estimates maintained by rel's insert-time
-// sketches. Absent relations report zero cardinality and no column stats.
+// per-column distinct-value estimates maintained by the backend's
+// insert-time sketches. Absent relations report zero cardinality and no
+// column stats.
 func (e *Engine) colStats(pred string) ColStats {
-	r := e.ins.Relation(pred)
+	r := e.data.Relation(pred)
 	if r == nil {
 		return ColStats{}
 	}
@@ -256,20 +275,20 @@ func (e *Engine) colStats(pred string) ColStats {
 
 // getIndex returns (creating if needed) the per-shard index set of r for
 // the bound-position set cols.
-func (e *Engine) getIndex(r *rel.Relation, cols []int) *index {
+func (e *Engine) getIndex(r store.Relation, cols []int) *index {
 	ck := colsKey(cols)
 	e.mu.RLock()
-	idx := e.indexes[r.Name][ck]
+	idx := e.indexes[r.Name()][ck]
 	e.mu.RUnlock()
 	if idx != nil {
 		return idx
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	byCols := e.indexes[r.Name]
+	byCols := e.indexes[r.Name()]
 	if byCols == nil {
 		byCols = map[string]*index{}
-		e.indexes[r.Name] = byCols
+		e.indexes[r.Name()] = byCols
 	}
 	idx = byCols[ck]
 	if idx == nil {
@@ -287,7 +306,7 @@ func (e *Engine) getIndex(r *rel.Relation, cols []int) *index {
 // probeShard answers one shard's half of a probe: catch the shard index up
 // with the shard's insert log if it has grown, then look the key up. The
 // returned bucket must not be mutated.
-func probeShard(r *rel.Relation, idx *index, s int, key []byte) []rel.Tuple {
+func probeShard(r store.Relation, idx *index, s int, key []byte) []rel.Tuple {
 	ish := &idx.shards[s]
 	ish.mu.RLock()
 	if ish.consumed == r.ShardVersion(s) {
@@ -316,7 +335,7 @@ func probeShard(r *rel.Relation, idx *index, s int, key []byte) []rel.Tuple {
 // grown) scratch buffer for reuse — the result may alias either a shared
 // index bucket or the scratch, so callers must treat it as read-only and
 // must not retain it past the next probe that reuses the same scratch.
-func (e *Engine) probe(r *rel.Relation, cols []int, vals []string, kb *[]byte, scratch []rel.Tuple) ([]rel.Tuple, []rel.Tuple) {
+func (e *Engine) probe(r store.Relation, cols []int, vals []string, kb *[]byte, scratch []rel.Tuple) ([]rel.Tuple, []rel.Tuple) {
 	key := appendProbeKey((*kb)[:0], vals)
 	*kb = key
 	idx := e.getIndex(r, cols)
@@ -349,13 +368,13 @@ func (e *Engine) ProbeByKeyBatchYield(pred string, cols []int, keys [][]string, 
 	if len(cols) == 0 {
 		return fmt.Errorf("engine: ProbeByKeyBatch on %s needs at least one column", pred)
 	}
-	r := e.ins.Relation(pred)
+	r := e.data.Relation(pred)
 	if r == nil {
 		return nil
 	}
 	for _, c := range cols {
-		if c < 0 || c >= r.Arity {
-			return fmt.Errorf("engine: ProbeByKeyBatch column %d out of range for %s/%d", c, pred, r.Arity)
+		if c < 0 || c >= r.Arity() {
+			return fmt.Errorf("engine: ProbeByKeyBatch column %d out of range for %s/%d", c, pred, r.Arity())
 		}
 	}
 	for _, key := range keys {
@@ -399,7 +418,7 @@ const probeBatchChunk = 256
 // locks keep them from contending unless the keys are skewed onto one
 // shard); the dedup set and the yield are serialized under the fan-out's
 // mutex.
-func (e *Engine) probeBatchParallel(r *rel.Relation, cols []int, keys [][]string, workers int, yield func(rel.Tuple) error) error {
+func (e *Engine) probeBatchParallel(r store.Relation, cols []int, keys [][]string, workers int, yield func(rel.Tuple) error) error {
 	f := &fanOut{}
 	seen := map[string]bool{}
 	chunks := (len(keys) + probeBatchChunk - 1) / probeBatchChunk
@@ -472,7 +491,7 @@ func (e *Engine) ProbeByKeyBatch(pred string, cols []int, keys [][]string) ([]re
 // the netpeer server's "scan" op. Returning ErrStop from yield ends the
 // stream without error. An absent relation yields nothing.
 func (e *Engine) StreamScan(pred string, yield func(rel.Tuple) error) error {
-	r := e.ins.Relation(pred)
+	r := e.data.Relation(pred)
 	if r == nil {
 		return nil
 	}
@@ -709,11 +728,11 @@ func EvalDatalog(rules []lang.CQ, base *rel.Instance) (*rel.Instance, error) {
 
 	delta := base.Clone()
 	for {
-		// Per-round deltas are scanned sequentially (parallelScanTarget
-		// excludes delta steps) and their stats are never consulted, so a
-		// single-shard instance skips the per-shard allocation and the
-		// routing/sketch hashing every derived fact would otherwise pay.
-		next := rel.NewInstanceSharded(1)
+		// Per-round deltas are sharded like the base instance: delta pivot
+		// scans route through the same per-shard worker pool as full scans
+		// (parallelScanTarget), so a large round's delta is drained in
+		// parallel instead of single-shard.
+		next := rel.NewInstanceSharded(total.ShardCount())
 		for _, pp := range plans {
 			if delta.Relation(pp.plan.steps[0].pred) == nil {
 				continue

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/lang"
 	"repro/internal/rel"
+	"repro/internal/store"
 )
 
 // Plan is a compiled evaluation order for one conjunctive query: body atoms
@@ -191,8 +192,8 @@ func (e *Engine) compile(q lang.CQ, forcePivot int) (*Plan, error) {
 		return nil, fmt.Errorf("engine: unsafe query %s", q)
 	}
 	for _, a := range q.Body {
-		if r := e.ins.Relation(a.Pred); r != nil && r.Arity != a.Arity() {
-			return nil, fmt.Errorf("engine: atom %s arity %d, relation has %d", a, a.Arity(), r.Arity)
+		if r := e.data.Relation(a.Pred); r != nil && r.Arity() != a.Arity() {
+			return nil, fmt.Errorf("engine: atom %s arity %d, relation has %d", a, a.Arity(), r.Arity())
 		}
 	}
 
@@ -356,18 +357,18 @@ func (rc *runCtx) step(i int) error {
 		if r == nil {
 			return nil
 		}
-		if r.Arity != st.arity {
-			return fmt.Errorf("engine: atom %s/%d, delta relation has arity %d", st.pred, st.arity, r.Arity)
+		if r.Arity() != st.arity {
+			return fmt.Errorf("engine: atom %s/%d, delta relation has arity %d", st.pred, st.arity, r.Arity())
 		}
 		rc.e.scans.Add(1)
 		return rc.scanShards(i, st, r)
 	}
-	r := rc.e.ins.Relation(st.pred)
+	r := rc.e.data.Relation(st.pred)
 	if r == nil {
 		return nil
 	}
-	if r.Arity != st.arity {
-		return fmt.Errorf("engine: atom %s/%d, relation has arity %d", st.pred, st.arity, r.Arity)
+	if r.Arity() != st.arity {
+		return fmt.Errorf("engine: atom %s/%d, relation has arity %d", st.pred, st.arity, r.Arity())
 	}
 	if len(st.keyCols) == 0 {
 		rc.e.scans.Add(1)
@@ -393,7 +394,7 @@ func (rc *runCtx) step(i int) error {
 
 // scanShards runs step i as a full scan, shard by shard (the per-shard
 // logs are distinct and cover the relation).
-func (rc *runCtx) scanShards(i int, st *planStep, r *rel.Relation) error {
+func (rc *runCtx) scanShards(i int, st *planStep, r store.Relation) error {
 	for s := 0; s < r.NumShards(); s++ {
 		if err := rc.feed(i, st, r.ShardAddedSince(s, 0)); err != nil {
 			return err
@@ -453,7 +454,7 @@ func (e *Engine) run(p *Plan, delta *rel.Instance, yield func(slots []string) er
 			return nil
 		}
 	}
-	if r, workers := e.parallelScanTarget(p); r != nil {
+	if r, workers := e.parallelScanTarget(p, delta); r != nil {
 		return e.runParallel(p, delta, r, workers, yield)
 	}
 	return newRunCtx(e, p, delta, yield).step(0)
@@ -461,18 +462,32 @@ func (e *Engine) run(p *Plan, delta *rel.Instance, yield func(slots []string) er
 
 // parallelScanTarget reports whether the plan's first step is a full scan
 // eligible for shard fan-out, returning the scanned relation and the worker
-// count (nil/0 when the sequential path should run: probe or delta first
-// steps, unsharded or small relations, single-worker configurations).
-func (e *Engine) parallelScanTarget(p *Plan) (*rel.Relation, int) {
+// count (nil/0 when the sequential path should run: probe first steps,
+// unsharded or small relations, single-worker configurations). A delta
+// first step (datalog semi-naive pivot) scans the per-round delta instance
+// and fans out under exactly the same gates — large deltas are the whole
+// cost of a semi-naive round, so they use the same shard worker pool as
+// full scans.
+func (e *Engine) parallelScanTarget(p *Plan, delta *rel.Instance) (store.Relation, int) {
 	if len(p.steps) == 0 {
 		return nil, 0
 	}
 	st := &p.steps[0]
-	if st.delta || len(st.keyCols) > 0 {
+	if len(st.keyCols) > 0 {
 		return nil, 0
 	}
-	r := e.ins.Relation(st.pred)
-	if r == nil || r.Arity != st.arity || r.NumShards() <= 1 {
+	var r store.Relation
+	if st.delta {
+		if delta == nil {
+			return nil, 0
+		}
+		if dr := delta.Relation(st.pred); dr != nil {
+			r = dr
+		}
+	} else {
+		r = e.data.Relation(st.pred)
+	}
+	if r == nil || r.Arity() != st.arity || r.NumShards() <= 1 {
 		return nil, 0
 	}
 	workers := min(scanWorkers(), r.NumShards())
@@ -491,7 +506,7 @@ func (e *Engine) parallelScanTarget(p *Plan) (*rel.Relation, int) {
 // yield. The first error (or ErrStop) recorded wins and flips the shared
 // stop flag, which every worker polls per tuple; run's callers apply the
 // usual ErrStop mapping, exactly as on the sequential path.
-func (e *Engine) runParallel(p *Plan, delta *rel.Instance, r *rel.Relation, workers int, yield func(slots []string) error) error {
+func (e *Engine) runParallel(p *Plan, delta *rel.Instance, r store.Relation, workers int, yield func(slots []string) error) error {
 	e.scans.Add(1)
 	e.parallelScans.Add(1)
 	f := &fanOut{}

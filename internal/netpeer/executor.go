@@ -10,6 +10,7 @@ import (
 	"repro/internal/lang"
 	"repro/internal/obs"
 	"repro/internal/rel"
+	"repro/internal/store"
 )
 
 // maxFanout caps the worker pool evaluating UCQ disjuncts concurrently.
@@ -88,6 +89,15 @@ type Executor struct {
 	// health checks). Set before issuing queries: pools capture it when
 	// first created for an address.
 	IdlePingAfter time.Duration
+	// SpillDir / SpillBudget bound the memory of the materialized partial
+	// join: each partial-join buffer keeps at most SpillBudget accounted
+	// bytes (store.TupleBytes) in memory and overflows the rest to spill
+	// segments under SpillDir, streaming them back per atom with sequential
+	// reads — joins larger than RAM complete within the budget. An empty
+	// dir or non-positive budget keeps today's pure in-memory path. Set
+	// before issuing queries.
+	SpillDir    string
+	SpillBudget int64
 
 	mu sync.Mutex
 	// addr maps each stored relation to the address of the serving peer.
@@ -141,6 +151,15 @@ func NewExecutor() *Executor {
 // evicts immediately.
 func (e *Executor) SetFragmentCacheLimits(maxEntries int, maxBytes int64) {
 	e.frags.setLimits(maxEntries, maxBytes)
+}
+
+// SetFragmentCacheSpill bounds the fragment cache's *resident* bytes: past
+// memBudget, the coldest entries move their rows to spill files under dir
+// (store's segment frame format) and stream back on their next hit, so a
+// large cold working set costs disk instead of RAM. An empty dir or
+// non-positive budget keeps every entry resident.
+func (e *Executor) SetFragmentCacheSpill(dir string, memBudget int64) {
+	e.frags.setSpill(dir, memBudget)
 }
 
 // FragmentStats returns a snapshot of the cross-query fragment-cache
@@ -215,13 +234,15 @@ func (e *Executor) cardOf(pred string) (int, bool) {
 // (aggregated across every pooled connection, past and present).
 func (e *Executor) WireStats() WireStats { return e.counters.Snapshot() }
 
-// Close closes all pooled connections. The executor stays usable: later
-// calls dial fresh connections.
+// Close closes all pooled connections and drops the fragment cache
+// (deleting its spill files). The executor stays usable: later calls dial
+// fresh connections and refill the cache.
 func (e *Executor) Close() error {
 	e.mu.Lock()
 	pools := e.pools
 	e.pools = map[string]*pool{}
 	e.mu.Unlock()
+	e.frags.clear()
 	var first error
 	for _, p := range pools {
 		if err := p.close(); err != nil && first == nil {
@@ -477,26 +498,50 @@ func (e *Executor) evalStreamingBindJoin(q lang.CQ, sp *obs.Span) ([]rel.Tuple, 
 	varCol := map[string]int{} // variable -> column in partial rows
 	var varOrder []string
 	boundVars := map[string]bool{}
-	partial := []rel.Tuple{{}} // the unit row: identity of the join
+	// The partial join lives in a spill-capable buffer: in memory while it
+	// fits the budget (the streaming hash join below runs exactly as
+	// before), on disk past it. Seeded with the unit row: identity of the
+	// join.
+	partial := store.NewRowBuffer(e.SpillDir, e.SpillBudget)
+	var next *store.RowBuffer
+	defer func() {
+		partial.Close()
+		if next != nil {
+			next.Close()
+		}
+	}()
+	if err := partial.Append(rel.Tuple{}); err != nil {
+		return nil, err
+	}
 
 	for _, bi := range order {
 		a := q.Body[bi]
 		as := sp.Child("atom", obs.Attr{K: "pred", V: a.Pred})
 		sh := shapeOf(a, boundVars)
 
-		// Hash the partial rows on the join columns.
 		joinCols := make([]int, len(sh.joinVars))
 		for i, v := range sh.joinVars {
 			joinCols[i] = varCol[v]
 		}
 		var kb []byte
-		hash := make(map[string][]int, len(partial))
-		for i, row := range partial {
-			kb = kb[:0]
-			for _, c := range joinCols {
-				kb = engine.AppendKeyPart(kb, row[c])
+		// In-memory fast path: hash the partial rows on the join columns
+		// and stream remote tuples straight into the hash join. Once the
+		// partial has spilled, remote tuples are instead grouped by join
+		// key (the remote side is the semi-join-reduced, smaller side) and
+		// the partial streams back from disk in one sequential pass per
+		// atom to extend matches.
+		inMem := partial.InMemory()
+		var hash map[string][]int
+		if inMem {
+			rows := partial.Rows()
+			hash = make(map[string][]int, len(rows))
+			for i, row := range rows {
+				kb = kb[:0]
+				for _, c := range joinCols {
+					kb = engine.AppendKeyPart(kb, row[c])
+				}
+				hash[string(kb)] = append(hash[string(kb)], i)
 			}
-			hash[string(kb)] = append(hash[string(kb)], i)
 		}
 
 		// Distinct bound keys — the semi-join payload — and the adaptive
@@ -506,13 +551,13 @@ func (e *Executor) evalStreamingBindJoin(q lang.CQ, sp *obs.Span) ([]rel.Tuple, 
 		var keyRows [][]string
 		if useBind {
 			seenKey := map[string]bool{}
-			for _, row := range partial {
+			err := partial.Iterate(func(row rel.Tuple) error {
 				kb = kb[:0]
 				for _, c := range joinCols {
 					kb = engine.AppendKeyPart(kb, row[c])
 				}
 				if seenKey[string(kb)] {
-					continue
+					return nil
 				}
 				seenKey[string(kb)] = true
 				key := make([]string, len(joinCols))
@@ -520,31 +565,47 @@ func (e *Executor) evalStreamingBindJoin(q lang.CQ, sp *obs.Span) ([]rel.Tuple, 
 					key[j] = row[c]
 				}
 				keyRows = append(keyRows, key)
+				return nil
+			})
+			if err != nil {
+				as.SetErr(err)
+				as.End()
+				return nil, err
 			}
 			if card, ok := e.cardOf(a.Pred); ok && card < len(keyRows) {
 				useBind = false
 			}
 		}
 
-		// join streams one (already filtered, deduplicated) remote tuple
-		// into the hash join: probe the partial hash and extend matches
-		// with the new columns. Both the wire path and the fragment-cache
-		// path feed it.
-		var next []rel.Tuple
-		join := func(t rel.Tuple) {
+		// join consumes one (already filtered, deduplicated) remote tuple.
+		// Both the wire path and the fragment-cache path feed it.
+		next = store.NewRowBuffer(e.SpillDir, e.SpillBudget)
+		var remoteByKey map[string][]rel.Tuple
+		if !inMem {
+			remoteByKey = map[string][]rel.Tuple{}
+		}
+		join := func(t rel.Tuple) error {
 			kb = kb[:0]
 			for _, p := range sh.keyPoss {
 				kb = engine.AppendKeyPart(kb, t[p])
 			}
+			if !inMem {
+				remoteByKey[string(kb)] = append(remoteByKey[string(kb)], t)
+				return nil
+			}
+			rows := partial.Rows()
 			for _, pi := range hash[string(kb)] {
-				row := partial[pi]
+				row := rows[pi]
 				nr := make(rel.Tuple, len(varOrder)+len(sh.newPoss))
 				copy(nr, row)
 				for j, p := range sh.newPoss {
 					nr[len(varOrder)+j] = t[p]
 				}
-				next = append(next, nr)
+				if err := next.Append(nr); err != nil {
+					return err
+				}
 			}
+			return nil
 		}
 
 		addr := e.addrOf(a.Pred)
@@ -565,7 +626,11 @@ func (e *Executor) evalStreamingBindJoin(q lang.CQ, sp *obs.Span) ([]rel.Tuple, 
 			fragKey = fragmentKey(addr, a, sh.keyPoss, keyRows, useBind)
 			if rows, ok := e.fragLookup(addr, a.Pred, fragKey); ok {
 				for _, t := range rows {
-					join(t)
+					if err := join(t); err != nil {
+						as.SetErr(err)
+						as.End()
+						return nil, err
+					}
 				}
 				served = true
 				as.Set("src", "fragcache")
@@ -612,8 +677,7 @@ func (e *Executor) evalStreamingBindJoin(q lang.CQ, sp *obs.Span) ([]rel.Tuple, 
 						fragRows = nil
 					}
 				}
-				join(t)
-				return nil
+				return join(t)
 			}
 			// tap observes the generations this fetch's own final frames
 			// piggyback, to stamp the cached fragment. Distinct values
@@ -676,7 +740,35 @@ func (e *Executor) evalStreamingBindJoin(q lang.CQ, sp *obs.Span) ([]rel.Tuple, 
 			}
 		}
 
-		partial = next
+		if !inMem {
+			// Spilled partial: stream it back once, sequentially, extending
+			// each row with its grouped remote matches.
+			err := partial.Iterate(func(row rel.Tuple) error {
+				kb = kb[:0]
+				for _, c := range joinCols {
+					kb = engine.AppendKeyPart(kb, row[c])
+				}
+				for _, t := range remoteByKey[string(kb)] {
+					nr := make(rel.Tuple, len(varOrder)+len(sh.newPoss))
+					copy(nr, row)
+					for j, p := range sh.newPoss {
+						nr[len(varOrder)+j] = t[p]
+					}
+					if err := next.Append(nr); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				as.SetErr(err)
+				as.End()
+				return nil, err
+			}
+		}
+
+		partial.Close()
+		partial, next = next, nil
 		for _, v := range sh.newVars {
 			varCol[v] = len(varOrder)
 			varOrder = append(varOrder, v)
@@ -699,17 +791,25 @@ func (e *Executor) evalStreamingBindJoin(q lang.CQ, sp *obs.Span) ([]rel.Tuple, 
 				continue
 			}
 			compApplied[ci] = true
-			kept := partial[:0]
-			for _, row := range partial {
+			kept := store.NewRowBuffer(e.SpillDir, e.SpillBudget)
+			err := partial.Iterate(func(row rel.Tuple) error {
 				if evalComp(c, varCol, row) {
-					kept = append(kept, row)
+					return kept.Append(row)
 				}
+				return nil
+			})
+			if err != nil {
+				kept.Close()
+				as.SetErr(err)
+				as.End()
+				return nil, err
 			}
+			partial.Close()
 			partial = kept
 		}
-		as.SetInt("partial", int64(len(partial)))
+		as.SetInt("partial", int64(partial.Len()))
 		as.End()
-		if len(partial) == 0 {
+		if partial.Len() == 0 {
 			// The partial join is already empty, so the full join is too:
 			// skip the remaining fetches entirely.
 			return nil, nil
@@ -724,8 +824,8 @@ func (e *Executor) evalStreamingBindJoin(q lang.CQ, sp *obs.Span) ([]rel.Tuple, 
 		}
 	}
 
-	out := make([]rel.Tuple, 0, len(partial))
-	for _, row := range partial {
+	out := make([]rel.Tuple, 0, partial.Len())
+	err := partial.Iterate(func(row rel.Tuple) error {
 		h := make(rel.Tuple, len(q.Head.Args))
 		for i, t := range q.Head.Args {
 			if t.IsConst() {
@@ -735,6 +835,10 @@ func (e *Executor) evalStreamingBindJoin(q lang.CQ, sp *obs.Span) ([]rel.Tuple, 
 			}
 		}
 		out = append(out, h)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rel.DistinctSorted(out), nil
 }

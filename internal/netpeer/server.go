@@ -98,6 +98,7 @@ import (
 	"repro/internal/lang"
 	"repro/internal/obs"
 	"repro/internal/rel"
+	"repro/internal/store"
 	"repro/internal/wire"
 )
 
@@ -143,6 +144,9 @@ type Server struct {
 
 	mu   sync.RWMutex
 	data *rel.Instance // guarded by mu (writes via AddFact; streams read under RLock)
+	// view is the storage-interface view of data the catalog/meta paths
+	// read; same guard discipline as data.
+	view store.Instance
 	eng  *engine.Engine
 
 	// reqHist times every request (decode to final frame written),
@@ -192,7 +196,7 @@ func NewServer(data *rel.Instance) *Server {
 	if data == nil {
 		data = rel.NewInstance()
 	}
-	return &Server{data: data, eng: engine.New(data), reqHist: obs.NewHistogram()}
+	return &Server{data: data, view: store.InstanceOf(data), eng: engine.New(data), reqHist: obs.NewHistogram()}
 }
 
 // AddFact inserts a tuple into a served relation. It blocks while a
@@ -413,7 +417,7 @@ func (s *Server) handleStream(req wire.Request, send func(wire.Response) error) 
 		cards := make([]int, len(preds))
 		gens := make([]uint64, len(preds))
 		for i, p := range preds {
-			if r := s.data.Relation(p); r != nil {
+			if r := s.view.Relation(p); r != nil {
 				cards[i] = r.Len()
 				gens[i] = r.Version()
 			}
@@ -422,7 +426,7 @@ func (s *Server) handleStream(req wire.Request, send func(wire.Response) error) 
 	}
 	switch req.Op {
 	case "catalog":
-		preds, cards, gens := metaOf(s.data.Relations()...)
+		preds, cards, gens := metaOf(s.view.Relations()...)
 		return send(wire.Response{Preds: preds, Cards: cards, Gens: gens, Spans: exported()})
 	case "gens":
 		// The fragment-cache revalidation round trip: tiny, row-free, and

@@ -68,8 +68,8 @@ func evalBody(q lang.CQ, ins *Instance, yield func(lang.Subst) error) error {
 		if r == nil {
 			return nil // empty relation: no matches
 		}
-		if r.Arity != atom.Arity() {
-			return fmt.Errorf("rel: atom %s arity %d, relation has %d", atom, atom.Arity(), r.Arity)
+		if r.arity != atom.Arity() {
+			return fmt.Errorf("rel: atom %s arity %d, relation has %d", atom, atom.Arity(), r.arity)
 		}
 	next:
 		for _, tup := range r.Tuples() {
@@ -198,8 +198,8 @@ func evalBodyPivot(q lang.CQ, total, delta *Instance, pivot int, yield func(lang
 		if r == nil {
 			return nil
 		}
-		if r.Arity != atom.Arity() {
-			return fmt.Errorf("rel: atom %s arity %d, relation has %d", atom, atom.Arity(), r.Arity)
+		if r.arity != atom.Arity() {
+			return fmt.Errorf("rel: atom %s arity %d, relation has %d", atom, atom.Arity(), r.arity)
 		}
 	next:
 		for _, tup := range r.Tuples() {

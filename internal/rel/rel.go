@@ -100,9 +100,14 @@ type shard struct {
 // point-in-time view across inserts still requires external synchronization,
 // which is what pdms.Network's and netpeer.Server's locks provide.
 type Relation struct {
-	Name   string
-	Arity  int
+	name   string
+	arity  int
 	shards []*shard
+
+	// hook, when non-nil, observes every successful insert (see
+	// SetAppendHook). It must be installed before the relation is shared
+	// across goroutines; Insert reads it without synchronization.
+	hook AppendHook
 
 	// sortedMu guards the cached deterministic (sorted) tuple order; the
 	// cache is tagged with the Version it was built at and rebuilt when the
@@ -113,6 +118,26 @@ type Relation struct {
 	// sortedVer is the Version sorted was built at, guarded by sortedMu.
 	sortedVer uint64
 }
+
+// AppendHook observes one successful insert. It is invoked under the owning
+// shard's lock, after the tuple has been appended to the shard log and the
+// shard generation bumped, with the shard index, the (defensively copied)
+// tuple, and the shard's new generation — in exactly that shard's log order.
+// A non-nil error aborts Insert with that error; the tuple remains inserted
+// in memory, so hook errors mean "applied but possibly not durable" and
+// callers (the storage tier) must treat the backing journal as failed.
+type AppendHook func(shard int, t Tuple, gen uint64) error
+
+// Name returns the relation's predicate name (fixed at creation).
+func (r *Relation) Name() string { return r.name }
+
+// Arity returns the relation's column count (fixed at creation).
+func (r *Relation) Arity() int { return r.arity }
+
+// SetAppendHook installs h as the relation's insert observer (nil removes
+// it). It must be called before the relation is shared across goroutines:
+// Insert reads the hook without synchronization.
+func (r *Relation) SetAppendHook(h AppendHook) { r.hook = h }
 
 // NewRelation creates an empty relation with DefaultShards() shards.
 func NewRelation(name string, arity int) *Relation {
@@ -128,7 +153,7 @@ func NewRelationSharded(name string, arity, n int) *Relation {
 		n = DefaultShards()
 	}
 	n = clampShards(n)
-	r := &Relation{Name: name, Arity: arity, shards: make([]*shard, n)}
+	r := &Relation{name: name, arity: arity, shards: make([]*shard, n)}
 	for i := range r.shards {
 		r.shards[i] = &shard{tuples: map[string]Tuple{}, distinct: make([]sketch, arity)}
 	}
@@ -153,8 +178,8 @@ func (r *Relation) shardIdx(t Tuple) int {
 // proceed in parallel; the insert also updates the shard's per-column
 // distinct-value sketches and bumps its generation counter.
 func (r *Relation) Insert(t Tuple) (bool, error) {
-	if len(t) != r.Arity {
-		return false, fmt.Errorf("rel: %s arity %d, tuple %v has %d values", r.Name, r.Arity, t, len(t))
+	if len(t) != r.arity {
+		return false, fmt.Errorf("rel: %s arity %d, tuple %v has %d values", r.name, r.arity, t, len(t))
 	}
 	// Hash the first column once: it both routes the tuple to its shard
 	// and feeds column 0's distinct sketch.
@@ -185,6 +210,15 @@ func (r *Relation) Insert(t Tuple) (bool, error) {
 		s.distinct[i].add(h)
 	}
 	s.gen.Add(1)
+	if h := r.hook; h != nil {
+		// Still under the shard lock: the hook sees inserts in exactly the
+		// shard log's order, which is what lets the durable tier mirror the
+		// log frame for frame.
+		if err := h(si, cp, s.gen.Load()); err != nil {
+			s.mu.Unlock()
+			return true, err
+		}
+	}
 	s.mu.Unlock()
 	return true, nil
 }
@@ -302,7 +336,17 @@ type Instance struct {
 	// nshards is the shard count for relations this instance creates
 	// (0 = DefaultShards()).
 	nshards int
+	// hooks, when non-nil, supplies the append hook for every relation the
+	// instance holds or later creates (see SetAppendHook). Installed before
+	// concurrent use; Add reads it without synchronization.
+	hooks HookFactory
 }
+
+// HookFactory returns the append hook for one relation of an instance,
+// given its predicate name, arity and shard count — or nil for none. The
+// storage tier uses this to journal every relation an instance creates,
+// including those materialized lazily by Add.
+type HookFactory func(pred string, arity, shards int) AppendHook
 
 // NewInstance returns an empty instance whose relations use DefaultShards()
 // hash partitions.
@@ -317,13 +361,40 @@ func NewInstanceSharded(n int) *Instance {
 	return &Instance{rels: map[string]*Relation{}, nshards: n}
 }
 
+// ShardCount returns the shard count relations created by this instance
+// use (the configured count, or DefaultShards() when unset).
+func (ins *Instance) ShardCount() int {
+	if ins.nshards <= 0 {
+		return DefaultShards()
+	}
+	return clampShards(ins.nshards)
+}
+
+// SetAppendHook installs f as the instance's append-hook factory (nil
+// removes it): f is consulted for every relation the instance currently
+// holds and every relation Add creates later. Like Relation.SetAppendHook
+// it must be called before the instance is shared across goroutines.
+// Clones and reshards never inherit hooks — they are independent in-memory
+// copies, not views of the journaled instance.
+func (ins *Instance) SetAppendHook(f HookFactory) {
+	ins.hooks = f
+	for name, r := range ins.rels {
+		if f == nil {
+			r.SetAppendHook(nil)
+			continue
+		}
+		r.SetAppendHook(f(name, r.arity, r.NumShards()))
+	}
+}
+
 // Clone returns a deep copy of the instance, preserving every relation's
 // shard layout, per-shard logs and generation counters, and statistics
 // sketches (so generation-keyed caches and planner estimates carry over).
+// The copy carries no append hooks.
 func (ins *Instance) Clone() *Instance {
 	out := NewInstanceSharded(ins.nshards)
 	for name, r := range ins.rels {
-		nr := NewRelationSharded(name, r.Arity, r.NumShards())
+		nr := NewRelationSharded(name, r.arity, r.NumShards())
 		for i, s := range r.shards {
 			// Build the copy in locals and publish it fully formed: the
 			// fresh shard is unshared, so only the source shard's lock is
@@ -361,7 +432,7 @@ func Reshard(ins *Instance, n int) *Instance {
 	out := NewInstanceSharded(n)
 	for _, name := range ins.Relations() {
 		r := ins.rels[name]
-		nr := NewRelationSharded(name, r.Arity, n)
+		nr := NewRelationSharded(name, r.arity, n)
 		for s := range r.shards {
 			for _, t := range r.ShardAddedSince(s, 0) {
 				if _, err := nr.Insert(t); err != nil {
@@ -402,6 +473,26 @@ func (ins *Instance) Gen(pred string) uint64 {
 	return 0
 }
 
+// EnsureRelation returns the named relation, creating it empty with the
+// given arity and n hash partitions if absent (n <= 0 selects the
+// instance's shard count). Recovery uses it to rebuild relations with their
+// recorded shard layout regardless of the instance default. Like Add,
+// creation mutates the instance map and requires external synchronization.
+func (ins *Instance) EnsureRelation(pred string, arity, n int) *Relation {
+	if r, ok := ins.rels[pred]; ok {
+		return r
+	}
+	if n <= 0 {
+		n = ins.nshards
+	}
+	r := NewRelationSharded(pred, arity, n)
+	if ins.hooks != nil {
+		r.SetAppendHook(ins.hooks(pred, r.arity, r.NumShards()))
+	}
+	ins.rels[pred] = r
+	return r
+}
+
 // Add inserts a tuple into pred, creating the relation on first use (with
 // the instance's shard count). It reports whether the tuple was new.
 // Creating a relation mutates the instance's map: like all instance-level
@@ -410,6 +501,9 @@ func (ins *Instance) Add(pred string, t Tuple) (bool, error) {
 	r, ok := ins.rels[pred]
 	if !ok {
 		r = NewRelationSharded(pred, len(t), ins.nshards)
+		if ins.hooks != nil {
+			r.SetAppendHook(ins.hooks(pred, r.arity, r.NumShards()))
+		}
 		ins.rels[pred] = r
 	}
 	return r.Insert(t)

@@ -138,9 +138,9 @@ func (r *Relation) Stats() Stats {
 	st := Stats{
 		Shards:    len(r.shards),
 		ShardRows: make([]int, len(r.shards)),
-		Distinct:  make([]float64, r.Arity),
+		Distinct:  make([]float64, r.arity),
 	}
-	merged := make([]sketch, r.Arity)
+	merged := make([]sketch, r.arity)
 	for i, s := range r.shards {
 		s.mu.Lock()
 		st.ShardRows[i] = len(s.tuples)

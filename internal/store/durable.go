@@ -1,0 +1,533 @@
+package store
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rel"
+)
+
+// defaultMaxSegmentBytes is the rotation threshold for one shard's open
+// segment: large enough that sequential replay is dominated by decoding,
+// small enough that torn-tail truncation never discards much.
+const defaultMaxSegmentBytes = 8 << 20
+
+// Options configure a Dir.
+type Options struct {
+	// MaxSegmentBytes rotates a shard's open segment once it grows past
+	// this many bytes (0 = defaultMaxSegmentBytes). Rotation syncs the
+	// finished segment, so only the open tail segment is ever torn.
+	MaxSegmentBytes int64
+}
+
+// Dir is a durable journal for one rel.Instance: every relation gets a
+// subdirectory holding per-shard sequences of append-only segment files
+// that mirror the in-memory insert logs frame for frame. Open + Recover +
+// Attach is the lifecycle:
+//
+//	d, _ := store.Open(path, store.Options{})
+//	ins, recs, err := d.Recover(shards) // replay segments -> bit-identical instance
+//	d.Attach(ins)                       // journal every insert from here on
+//	...
+//	d.Close()                           // flush + fsync open segments
+//
+// Appends reach the journal through rel's append hooks, which run under the
+// owning shard's lock — so segment frames are written in exactly the shard
+// log's order and the per-segment generation ranges tile each shard's log.
+// Journaling is asynchronous with respect to the disk: frames sit in a
+// buffered writer until Flush/Sync/Close (or rotation), trading a bounded
+// crash-loss window for insert-path speed; recovery's torn-tail truncation
+// makes that window safe.
+//
+// A Dir is safe for concurrent appends (per-shard locking); Recover and
+// Attach are startup-time calls that must complete before the instance is
+// shared.
+type Dir struct {
+	root   string
+	maxSeg int64
+
+	mu   sync.Mutex
+	rels map[string]*relLog // guarded by mu
+	// failedErr is the first journal append error (disk full, I/O error);
+	// once set, Flush/Sync/Close report it so callers cannot mistake a
+	// wounded journal for a healthy one. Guarded by mu.
+	failedErr error
+
+	segments    atomic.Uint64 // segment files created
+	bytesOut    atomic.Uint64 // frame bytes appended (pre-buffering)
+	truncations atomic.Uint64 // torn tails truncated during recovery
+	recovered   atomic.Uint64 // tuples replayed by Recover
+	replayMicro atomic.Int64  // wall time of the last Recover, microseconds
+}
+
+// Open creates (if needed) the journal directory at path and returns a Dir
+// over it. No segment is read until Recover.
+func Open(path string, opts Options) (*Dir, error) {
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, err
+	}
+	maxSeg := opts.MaxSegmentBytes
+	if maxSeg <= 0 {
+		maxSeg = defaultMaxSegmentBytes
+	}
+	return &Dir{root: path, maxSeg: maxSeg, rels: map[string]*relLog{}}, nil
+}
+
+// relLog is one relation's journal state.
+type relLog struct {
+	d      *Dir
+	pred   string
+	arity  int
+	shards int
+	logs   []*shardLog
+}
+
+// shardLog is one shard's journal state: the open segment writer and the
+// number of inserts journaled.
+type shardLog struct {
+	rl    *relLog
+	shard int
+
+	mu sync.Mutex
+	// w is the open segment writer (nil until the first append after open
+	// or rotation), guarded by mu.
+	w *segWriter
+	// count is the number of inserts journaled for this shard — equal to
+	// the shard's in-memory generation once every hook call has returned.
+	// Guarded by mu.
+	count uint64
+}
+
+func newRelLog(d *Dir, pred string, arity, shards int) *relLog {
+	rl := &relLog{d: d, pred: pred, arity: arity, shards: shards}
+	rl.logs = make([]*shardLog, shards)
+	for i := range rl.logs {
+		rl.logs[i] = &shardLog{rl: rl, shard: i}
+	}
+	return rl
+}
+
+func (rl *relLog) dir() string { return filepath.Join(rl.d.root, escapeRel(rl.pred)) }
+
+// append journals one insert; it runs inside rel's append hook, under the
+// owning shard's in-memory lock.
+func (sl *shardLog) append(t rel.Tuple, gen uint64) error {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if gen != sl.count+1 {
+		err := fmt.Errorf("store: %s shard %d: insert generation %d, journal at %d (journal gap)",
+			sl.rl.pred, sl.shard, gen, sl.count)
+		sl.rl.d.fail(err)
+		return err
+	}
+	if sl.w == nil {
+		if err := sl.openSegmentLocked(); err != nil {
+			sl.rl.d.fail(err)
+			return err
+		}
+	}
+	n, err := sl.w.appendTuple(t)
+	sl.rl.d.bytesOut.Add(uint64(n))
+	if err != nil {
+		sl.rl.d.fail(err)
+		return err
+	}
+	sl.count = gen
+	if sl.w.bytes >= sl.rl.d.maxSeg {
+		// Rotate: sync and close the finished segment so only the open
+		// tail is ever exposed to torn writes; the next append opens a
+		// fresh segment at the current generation.
+		if err := sl.w.close(); err != nil {
+			sl.rl.d.fail(err)
+			return err
+		}
+		sl.w = nil
+	}
+	return nil
+}
+
+// openSegmentLocked creates the next segment file for this shard, starting
+// at the current journaled generation. Caller holds sl.mu.
+func (sl *shardLog) openSegmentLocked() error {
+	rl := sl.rl
+	if err := os.MkdirAll(rl.dir(), 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(rl.dir(), segFileName(sl.shard, sl.count))
+	w, err := createSegment(path, segHeader{
+		Magic: segMagic, Rel: rl.pred, Arity: rl.arity,
+		Shard: sl.shard, Shards: rl.shards, GenLo: sl.count,
+	})
+	if err != nil {
+		return err
+	}
+	rl.d.segments.Add(1)
+	rl.d.bytesOut.Add(uint64(w.bytes))
+	sl.w = w
+	return nil
+}
+
+func (d *Dir) fail(err error) {
+	d.mu.Lock()
+	if d.failedErr == nil {
+		d.failedErr = err
+	}
+	d.mu.Unlock()
+}
+
+// Err returns the first journal append error, or nil while healthy.
+func (d *Dir) Err() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.failedErr
+}
+
+// forEachShardLog snapshots the registered shard logs under d.mu and visits
+// them outside it (visiting takes per-shard locks that appends also take).
+func (d *Dir) forEachShardLog(visit func(*shardLog) error) error {
+	d.mu.Lock()
+	var logs []*shardLog
+	for _, rl := range d.rels {
+		logs = append(logs, rl.logs...)
+	}
+	first := d.failedErr
+	d.mu.Unlock()
+	for _, sl := range logs {
+		if err := visit(sl); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Flush pushes every open segment's buffered frames to the OS (no fsync).
+func (d *Dir) Flush() error {
+	return d.forEachShardLog(func(sl *shardLog) error {
+		sl.mu.Lock()
+		defer sl.mu.Unlock()
+		if sl.w == nil {
+			return nil
+		}
+		return sl.w.flush()
+	})
+}
+
+// Sync flushes and fsyncs every open segment.
+func (d *Dir) Sync() error {
+	return d.forEachShardLog(func(sl *shardLog) error {
+		sl.mu.Lock()
+		defer sl.mu.Unlock()
+		if sl.w == nil {
+			return nil
+		}
+		return sl.w.sync()
+	})
+}
+
+// Close syncs and closes every open segment. The Dir must not be appended
+// to afterwards.
+func (d *Dir) Close() error {
+	return d.forEachShardLog(func(sl *shardLog) error {
+		sl.mu.Lock()
+		defer sl.mu.Unlock()
+		if sl.w == nil {
+			return nil
+		}
+		err := sl.w.close()
+		sl.w = nil
+		return err
+	})
+}
+
+// Attach installs append hooks on ins so every subsequent insert — into
+// existing relations and relations created later by Add — is journaled to
+// this Dir. ins should be the instance Recover returned (or an empty one);
+// attaching an instance whose contents exceed the journal makes the next
+// insert fail with a journal-gap error rather than silently diverging.
+// Must be called before ins is shared across goroutines.
+func (d *Dir) Attach(ins *rel.Instance) {
+	ins.SetAppendHook(func(pred string, arity, shards int) rel.AppendHook {
+		d.mu.Lock()
+		rl := d.rels[pred]
+		if rl == nil {
+			rl = newRelLog(d, pred, arity, shards)
+			d.rels[pred] = rl
+		}
+		d.mu.Unlock()
+		if rl.arity != arity || rl.shards != shards {
+			mismatch := fmt.Errorf("store: relation %s journaled as %d columns x %d shards, attached as %d x %d",
+				pred, rl.arity, rl.shards, arity, shards)
+			return func(int, rel.Tuple, uint64) error { return mismatch }
+		}
+		return func(shard int, t rel.Tuple, gen uint64) error {
+			return rl.logs[shard].append(t, gen)
+		}
+	})
+}
+
+// RelRecovery describes one relation's replay outcome.
+type RelRecovery struct {
+	// Pred, Arity and Shards identify the recovered relation.
+	Pred   string
+	Arity  int
+	Shards int
+	// Tuples is the number of tuples replayed; Gen the recovered
+	// generation (sum of per-shard generations — equal to Tuples).
+	Tuples int
+	Gen    uint64
+	// Segments is the number of segment files read.
+	Segments int
+	// TruncatedBytes counts bytes cut from torn segment tails.
+	TruncatedBytes int64
+}
+
+// Recover replays every relation's segments into a fresh instance and
+// registers the recovered generations so subsequent appends continue the
+// journal seamlessly. Relations are rebuilt with their recorded shard
+// counts; relations the instance creates later default to nshards
+// (<= 0 selects rel.DefaultShards()). Replay order within a shard is the
+// original insert order, and inserts re-route deterministically, so the
+// result is bit-identical to the journaled instance: same tuples, same
+// per-shard log order, same per-shard generations.
+//
+// A torn or garbled tail in a shard's final segment is truncated at the
+// last intact frame (the crash-window loss); the same defect in any earlier
+// segment, a generation gap between segments, or a duplicated frame is
+// corruption beyond the crash model and fails recovery.
+func (d *Dir) Recover(nshards int) (*rel.Instance, []RelRecovery, error) {
+	start := time.Now()
+	ins := rel.NewInstanceSharded(nshards)
+	entries, err := os.ReadDir(d.root)
+	if err != nil {
+		return nil, nil, err
+	}
+	var recs []RelRecovery
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		pred, err := unescapeRel(ent.Name())
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: undecodable relation directory %q: %w", ent.Name(), err)
+		}
+		rec, err := d.recoverRelation(ins, pred, filepath.Join(d.root, ent.Name()))
+		if err != nil {
+			return nil, nil, err
+		}
+		if rec != nil {
+			recs = append(recs, *rec)
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Pred < recs[j].Pred })
+	d.replayMicro.Store(time.Since(start).Microseconds())
+	return ins, recs, nil
+}
+
+// segFile is one parsed segment file name.
+type segFile struct {
+	name  string
+	shard int
+	genLo uint64
+}
+
+func segFileName(shard int, genLo uint64) string {
+	return fmt.Sprintf("s%d-%016d.seg", shard, genLo)
+}
+
+func parseSegFileName(name string) (segFile, bool) {
+	var shard int
+	var genLo uint64
+	if !strings.HasSuffix(name, ".seg") {
+		return segFile{}, false
+	}
+	if _, err := fmt.Sscanf(name, "s%d-%016d.seg", &shard, &genLo); err != nil || shard < 0 {
+		return segFile{}, false
+	}
+	return segFile{name: name, shard: shard, genLo: genLo}, true
+}
+
+// recoverRelation replays one relation directory. It returns nil (and no
+// error) when the directory holds no usable segments.
+func (d *Dir) recoverRelation(ins *rel.Instance, pred, dir string) (*RelRecovery, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	byShard := map[int][]segFile{}
+	for _, ent := range entries {
+		sf, ok := parseSegFileName(ent.Name())
+		if !ok {
+			continue
+		}
+		byShard[sf.shard] = append(byShard[sf.shard], sf)
+	}
+	if len(byShard) == 0 {
+		return nil, nil
+	}
+	// The header of the first readable segment fixes the relation's shape;
+	// every other segment must agree.
+	var hdr *segHeader
+	rec := RelRecovery{Pred: pred}
+	var r *rel.Relation
+	var shardIdxs []int
+	for s := range byShard {
+		shardIdxs = append(shardIdxs, s)
+		sort.Slice(byShard[s], func(i, j int) bool { return byShard[s][i].genLo < byShard[s][j].genLo })
+	}
+	sort.Ints(shardIdxs)
+	for _, s := range shardIdxs {
+		segs := byShard[s]
+		var gen uint64
+		for i, sf := range segs {
+			last := i == len(segs)-1
+			path := filepath.Join(dir, sf.name)
+			if sf.genLo != gen {
+				return nil, fmt.Errorf("store: %s shard %d: segment %s starts at generation %d, journal at %d (missing segment?)",
+					pred, s, sf.name, sf.genLo, gen)
+			}
+			onHeader := func(h segHeader) error {
+				if h.Rel != pred || h.Shard != s || h.GenLo != sf.genLo {
+					return fmt.Errorf("store: %s shard %d: segment %s header disagrees with its name", pred, s, sf.name)
+				}
+				if hdr == nil {
+					hdr = &h
+					r = ins.EnsureRelation(pred, h.Arity, h.Shards)
+					if r.Arity() != h.Arity || r.NumShards() != h.Shards {
+						return fmt.Errorf("store: %s already exists with a different shape", pred)
+					}
+					rec.Arity, rec.Shards = h.Arity, h.Shards
+				} else if h.Arity != hdr.Arity || h.Shards != hdr.Shards {
+					return fmt.Errorf("store: %s shard %d: segment %s disagrees on arity/shards", pred, s, sf.name)
+				}
+				return nil
+			}
+			apply := func(t rel.Tuple) error {
+				if len(t) != hdr.Arity {
+					return fmt.Errorf("store: %s: replayed tuple %v has %d values, want %d", pred, t, len(t), hdr.Arity)
+				}
+				sv := ""
+				if len(t) > 0 {
+					sv = t[0]
+				}
+				if r.ShardFor(sv) != s {
+					return fmt.Errorf("store: %s: replayed tuple %v routes to shard %d, found in shard %d", pred, t, r.ShardFor(sv), s)
+				}
+				fresh, err := r.Insert(t)
+				if err != nil {
+					return err
+				}
+				if !fresh {
+					return fmt.Errorf("store: %s: duplicated tuple %v in journal", pred, t)
+				}
+				return nil
+			}
+			sc, ioerr := scanSegment(path, onHeader, apply)
+			if ioerr != nil {
+				return nil, ioerr
+			}
+			gen = sf.genLo + uint64(sc.tuples)
+			rec.Tuples += sc.tuples
+			rec.Segments++
+			if sc.err != nil {
+				if !last {
+					return nil, fmt.Errorf("store: %s shard %d: segment %s corrupt before the journal tail: %w", pred, s, sf.name, sc.err)
+				}
+				// Torn tail: cut the final segment back to its last intact
+				// frame. If not even the header survived, drop the file.
+				torn := tornBytes(path, sc)
+				if err := truncateSegment(path, sc); err != nil {
+					return nil, err
+				}
+				d.truncations.Add(1)
+				rec.TruncatedBytes += torn
+			}
+		}
+		if r != nil && r.ShardVersion(s) != gen {
+			return nil, fmt.Errorf("store: %s shard %d: replayed generation %d, relation at %d", pred, s, gen, r.ShardVersion(s))
+		}
+	}
+	if hdr == nil {
+		// Every segment of the relation was unreadable garbage; nothing to
+		// resurrect, nothing recovered.
+		return nil, nil
+	}
+	rec.Gen = r.Version()
+	d.recovered.Add(uint64(rec.Tuples))
+	// Continue the journal where the replay ended.
+	d.mu.Lock()
+	rl := newRelLog(d, pred, hdr.Arity, hdr.Shards)
+	for s, sl := range rl.logs {
+		sl.mu.Lock()
+		sl.count = r.ShardVersion(s)
+		sl.mu.Unlock()
+	}
+	d.rels[pred] = rl
+	d.mu.Unlock()
+	return &rec, nil
+}
+
+// truncateSegment applies the torn-tail policy to the final segment of a
+// shard: cut back to the last intact frame, or remove the file entirely
+// when not even the header frame survived.
+func truncateSegment(path string, sc segScan) error {
+	if !sc.hdrOK {
+		return os.Remove(path)
+	}
+	return os.Truncate(path, sc.goodBytes)
+}
+
+// tornBytes reports how many bytes the torn-tail truncation for path cut
+// (best effort: 0 if the file is already gone).
+func tornBytes(path string, sc segScan) int64 {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	if !sc.hdrOK {
+		return fi.Size()
+	}
+	return fi.Size() - sc.goodBytes
+}
+
+// escapeRel maps a relation name to a filesystem-safe directory name
+// (reversible; '/' and '%' are escaped, and a leading '.' is escaped by
+// hand so "." and ".." can never collide with directory navigation —
+// url.PathEscape itself never emits %2E, so the mapping stays injective).
+func escapeRel(pred string) string {
+	esc := url.PathEscape(pred)
+	if strings.HasPrefix(esc, ".") {
+		esc = "%2E" + esc[1:]
+	}
+	return esc
+}
+
+func unescapeRel(name string) (string, error) {
+	return url.PathUnescape(name)
+}
+
+// RegisterMetrics registers the storage.* snapshot group on reg: segment
+// and replay counters from d (which may be nil when only spill structures
+// are in use) plus the package-wide spill counters.
+func RegisterMetrics(reg *obs.Registry, d *Dir) {
+	reg.RegisterGroup("storage", func(em *obs.Emitter) {
+		if d != nil {
+			em.Counter("segments", d.segments.Load())
+			em.Counter("bytes_written", d.bytesOut.Load())
+			em.Counter("truncations", d.truncations.Load())
+			em.Counter("recovered_tuples", d.recovered.Load())
+			em.Gauge("replay_micros", d.replayMicro.Load())
+		}
+		em.Counter("spills", spillCount.Load())
+		em.Counter("spill_bytes", spillBytesTotal.Load())
+		em.Counter("spill_rows", spillRowsTotal.Load())
+		em.Counter("spill_loads", spillLoads.Load())
+	})
+}

@@ -1,0 +1,95 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/rel"
+)
+
+// Write-once/read-many spill files: the fragment cache moves a cold entry's
+// rows to disk in one shot and streams them back per hit. Same frame layout
+// as RowBuffer spills (a "!spill" header frame, then one frame per row), so
+// every byte the storage tier writes is one format.
+
+// SpillRows writes rows to a new spill file under dir and returns its path.
+// The file is synced before the path is returned. Accounted bytes (per
+// TupleBytes) and rows are recorded in the storage.spill* metrics.
+func SpillRows(dir string, rows []rel.Tuple) (string, error) {
+	f, err := os.CreateTemp(dir, "frag-*.seg")
+	if err != nil {
+		return "", err
+	}
+	path := f.Name()
+	fail := func(err error) (string, error) {
+		f.Close()
+		os.Remove(path)
+		return "", err
+	}
+	bw := bufio.NewWriterSize(f, 256<<10)
+	arity := 0
+	if len(rows) > 0 {
+		arity = len(rows[0])
+	}
+	hdr, err := json.Marshal(segHeader{Magic: segMagic, Rel: "!spill", Arity: arity, Shards: 1})
+	if err != nil {
+		return fail(err)
+	}
+	buf := appendFrame(nil, hdr)
+	var bytes int64
+	for _, t := range rows {
+		payload, err := encodeTuple(t)
+		if err != nil {
+			return fail(err)
+		}
+		buf = appendFrame(buf, payload)
+		bytes += TupleBytes(t)
+	}
+	if _, err := bw.Write(buf); err != nil {
+		return fail(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return "", err
+	}
+	NoteSpill(len(rows), bytes)
+	return path, nil
+}
+
+// LoadSpillRows reads back every row of a file written by SpillRows, in
+// order, with one buffered sequential pass. The read is recorded in the
+// storage.spill_loads metric.
+func LoadSpillRows(path string) ([]rel.Tuple, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	NoteSpillLoad()
+	br := bufio.NewReaderSize(f, 256<<10)
+	if _, _, err := readFrame(br); err != nil {
+		return nil, fmt.Errorf("store: spill file header: %w", err)
+	}
+	var rows []rel.Tuple
+	for {
+		payload, _, err := readFrame(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return rows, nil
+			}
+			return nil, fmt.Errorf("store: spill file: %w", err)
+		}
+		t, err := decodeTuple(payload)
+		if err != nil {
+			return nil, fmt.Errorf("store: spill file: %w", err)
+		}
+		rows = append(rows, t)
+	}
+}

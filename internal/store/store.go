@@ -1,0 +1,83 @@
+package store
+
+import "repro/internal/rel"
+
+// Relation is the read-path storage contract the query layers are written
+// against: the engine's per-shard hash indexes, StreamScan and probe paths,
+// and netpeer's server-side scan/bind handlers all consume this interface
+// instead of the concrete in-memory representation. *rel.Relation satisfies
+// it directly; alternative backends (the durable segment tier here, or an
+// XML store) only need to speak this surface.
+//
+// The contract mirrors rel.Relation's sharded semantics exactly, and
+// callers depend on these invariants:
+//
+//   - NumShards is fixed for the relation's lifetime; ShardFor must agree
+//     with where appends place tuples (first-column hash routing), and
+//     N = 1 reproduces the unsharded layout.
+//   - ShardVersion(s) is monotone and counts shard s's inserts; Version()
+//     is exactly the sum over shards — the value generation-vector cache
+//     keys and the wire gens piggyback are built from.
+//   - ShardAddedSince(s, v) returns shard s's insert-log suffix after
+//     version v in insertion order; callers must not mutate the result.
+//     ShardAddedSince(s, 0) enumerates the whole shard without sorting.
+//   - Stats is a point-in-time snapshot feeding the planner's selectivity
+//     estimates; it steers plan choice only, never answer correctness.
+type Relation interface {
+	// Name returns the relation's predicate name.
+	Name() string
+	// Arity returns the relation's column count.
+	Arity() int
+	// NumShards returns the shard count (fixed at creation).
+	NumShards() int
+	// ShardFor returns the shard index a tuple whose first column is v
+	// lives in.
+	ShardFor(v string) int
+	// ShardVersion returns shard s's generation (its insert count).
+	ShardVersion(s int) uint64
+	// ShardAddedSince returns the tuples inserted into shard s after its
+	// version v, in insertion order. Callers must not mutate the result.
+	ShardAddedSince(s int, v uint64) []rel.Tuple
+	// Len returns the relation's cardinality.
+	Len() int
+	// Version returns the relation's generation: the sum of the per-shard
+	// generations, monotone and bumped once per distinct insert.
+	Version() uint64
+	// Contains reports tuple membership.
+	Contains(t rel.Tuple) bool
+	// Stats returns a statistical snapshot (cardinality, shard layout,
+	// per-column distinct estimates).
+	Stats() rel.Stats
+}
+
+// Instance resolves predicate names to relations — the catalog surface the
+// engine and netpeer server consume.
+type Instance interface {
+	// Relation returns the named relation, or nil if absent.
+	Relation(pred string) Relation
+	// Relations returns the predicate names present, sorted.
+	Relations() []string
+}
+
+// InstanceOf adapts a concrete *rel.Instance to the Instance interface.
+// The adapter is needed because Go interfaces have no covariant results:
+// rel.Instance.Relation returns *rel.Relation, so *rel.Instance cannot
+// satisfy Instance directly even though *rel.Relation satisfies Relation.
+func InstanceOf(ins *rel.Instance) Instance { return relInstance{ins} }
+
+type relInstance struct{ ins *rel.Instance }
+
+func (ri relInstance) Relation(pred string) Relation {
+	// An explicit nil check keeps "absent" an untyped nil interface rather
+	// than a non-nil interface wrapping a nil *rel.Relation.
+	if r := ri.ins.Relation(pred); r != nil {
+		return r
+	}
+	return nil
+}
+
+func (ri relInstance) Relations() []string { return ri.ins.Relations() }
+
+// Compile-time checks that the concrete in-memory types implement the
+// storage contract.
+var _ Relation = (*rel.Relation)(nil)

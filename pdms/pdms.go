@@ -30,6 +30,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/ppl"
 	"repro/internal/rel"
+	"repro/internal/store"
 )
 
 // answerCacheSize and reformCacheSize bound the per-network LRU caches;
@@ -78,6 +79,10 @@ type Network struct {
 	// set); queryHist times every query regardless of sampling.
 	tracer    *obs.Tracer
 	queryHist *obs.Histogram
+	// dstore is the durable segment journal (nil for in-memory networks).
+	// Set once during construction, before the network is shared; writes
+	// flow through the instance's append hooks, so no extra locking here.
+	dstore *store.Dir
 }
 
 func newNetwork(spec *ppl.PDMS, data *rel.Instance, opts Options) *Network {
@@ -112,6 +117,14 @@ type Options struct {
 	// relations let the engine fan scans and probes out across a bounded
 	// worker pool; answers are identical for every setting.
 	Shards int
+	// DataDir makes stored relations durable: inserts are journaled to
+	// append-only segment files under this directory (internal/store) and
+	// construction replays existing segments into a bit-identical instance
+	// before applying anything else. Durable networks must be built with
+	// Open, Load or LoadWithOptions (New panics — it cannot report replay
+	// errors) and closed with Close so buffered frames reach disk. Empty
+	// keeps the network purely in memory.
+	DataDir string
 }
 
 func (o Options) core() core.Options {
@@ -125,9 +138,47 @@ func (o Options) core() core.Options {
 	}
 }
 
-// New returns an empty network with the given options.
+// New returns an empty network with the given options. New cannot report
+// segment-replay errors, so it panics when opts.DataDir is set — durable
+// networks are built with Open (or Load/LoadWithOptions).
 func New(opts Options) *Network {
+	if opts.DataDir != "" {
+		panic("pdms: use Open for durable networks (New cannot report replay errors)")
+	}
 	return newNetwork(ppl.New(), rel.NewInstanceSharded(opts.Shards), opts)
+}
+
+// Open returns an empty-spec network whose stored relations are durable
+// under opts.DataDir: existing segments are replayed into the instance and
+// every later insert is journaled. The spec itself is not persisted —
+// callers re-apply it (Extend) after Open; only re-added *facts* are
+// deduplicated against the recovered data.
+func Open(opts Options) (*Network, error) {
+	if opts.DataDir == "" {
+		return nil, fmt.Errorf("pdms: Open requires Options.DataDir")
+	}
+	data, dstore, err := openDurable(opts)
+	if err != nil {
+		return nil, err
+	}
+	n := newNetwork(ppl.New(), data, opts)
+	n.dstore = dstore
+	return n, nil
+}
+
+// openDurable opens the segment directory, replays it, and attaches the
+// journal hooks so subsequent inserts are logged.
+func openDurable(opts Options) (*rel.Instance, *store.Dir, error) {
+	dstore, err := store.Open(opts.DataDir, store.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	data, _, err := dstore.Recover(opts.Shards)
+	if err != nil {
+		return nil, nil, err
+	}
+	dstore.Attach(data)
+	return data, dstore, nil
 }
 
 // Load parses a PPL specification (schema declarations, mappings, storage
@@ -136,20 +187,50 @@ func Load(src string) (*Network, error) {
 	return LoadWithOptions(src, Options{})
 }
 
-// LoadWithOptions is Load with explicit options.
+// LoadWithOptions is Load with explicit options. With Options.DataDir set,
+// the on-disk segments are replayed first and the specification's facts are
+// merged (and journaled) on top — loading the same spec over the same
+// directory is idempotent for its facts.
 func LoadWithOptions(src string, opts Options) (*Network, error) {
 	res, err := parser.Parse(src)
 	if err != nil {
 		return nil, err
 	}
 	data := res.Data
-	if opts.Shards > 0 && opts.Shards != rel.DefaultShards() {
+	var dstore *store.Dir
+	if opts.DataDir != "" {
+		recovered, ds, err := openDurable(opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, pred := range data.Relations() {
+			for _, t := range data.Relation(pred).Tuples() {
+				if _, err := recovered.Add(pred, t); err != nil {
+					return nil, fmt.Errorf("pdms: journaling %s: %w", pred, err)
+				}
+			}
+		}
+		data, dstore = recovered, ds
+	} else if opts.Shards > 0 && opts.Shards != rel.DefaultShards() {
 		// The parser loads into a default-sharded instance; repartition
 		// only when the caller asked for a different layout (a one-time
 		// O(rows) load cost, pointless when the counts already match).
 		data = rel.Reshard(data, opts.Shards)
 	}
-	return newNetwork(res.PDMS, data, opts), nil
+	n := newNetwork(res.PDMS, data, opts)
+	n.dstore = dstore
+	return n, nil
+}
+
+// Close flushes and fsyncs the durable journal (a no-op for in-memory
+// networks). The network must not be mutated afterwards.
+func (n *Network) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.dstore == nil {
+		return nil
+	}
+	return n.dstore.Close()
 }
 
 // Extend parses additional PPL statements into an existing network — the
@@ -503,6 +584,9 @@ func (n *Network) Tracer() *obs.Tracer { return n.tracer }
 // the "engine" group.
 func (n *Network) RegisterMetrics(reg *obs.Registry) {
 	n.eng.RegisterMetrics(reg)
+	if n.dstore != nil {
+		store.RegisterMetrics(reg, n.dstore)
+	}
 	reg.RegisterHistogram("pdms.query_seconds", n.queryHist)
 	reg.RegisterGroup("pdms", func(em *obs.Emitter) {
 		cs := n.CacheStats()
