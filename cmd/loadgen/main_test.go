@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/netpeer"
+	"repro/internal/obs"
+	"repro/internal/rel"
+)
+
+// startBenchPeer runs an in-process peer with admission limits plus an
+// obs.Handler metrics endpoint, the pair loadgen expects in production.
+func startBenchPeer(t *testing.T) (addr, metricsURL string) {
+	t.Helper()
+	srv := netpeer.NewServer(rel.NewInstance())
+	srv.MaxInflight = 2
+	srv.MaxQueue = 8
+	srv.QueueWait = 20 * time.Millisecond
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	reg := obs.NewRegistry()
+	srv.RegisterMetrics(reg)
+	hs := httptest.NewServer(obs.Handler(reg, nil))
+	t.Cleanup(hs.Close)
+	return addr, hs.URL + "/metrics"
+}
+
+// TestSmokeRun is the CI-scale end-to-end check: seed, one short mixed
+// stage, metrics deltas, shed accounting, and the written report.
+func TestSmokeRun(t *testing.T) {
+	addr, metricsURL := startBenchPeer(t)
+	out := filepath.Join(t.TempDir(), "bench.json")
+	cfg := config{
+		addr:        addr,
+		metricsURL:  metricsURL,
+		qps:         []float64{200, 400},
+		duration:    300 * time.Millisecond,
+		conns:       8,
+		seed:        100,
+		mutateEvery: 5,
+		pred:        "bench.data",
+		addPred:     "bench.writes",
+		checkShed:   true,
+		out:         out,
+	}
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(rep.Stages) != 2 {
+		t.Fatalf("got %d stages, want 2", len(rep.Stages))
+	}
+	for i, st := range rep.Stages {
+		if st.Query.Ops == 0 {
+			t.Errorf("stage %d: no query ops", i)
+		}
+		if st.Mutation.Ops == 0 {
+			t.Errorf("stage %d: no mutation ops", i)
+		}
+		if st.Query.Errors != 0 || st.Mutation.Errors != 0 {
+			t.Errorf("stage %d: hard errors: query=%d mutation=%d", i, st.Query.Errors, st.Mutation.Errors)
+		}
+		if st.Server == nil {
+			t.Fatalf("stage %d: no server delta despite -metrics", i)
+		}
+		// Totality against the server's own counter: every op the
+		// generator fired is accounted for server-side.
+		fired := st.Query.Ops + st.Mutation.Ops
+		if st.Server.Requests < fired {
+			t.Errorf("stage %d: server saw %d requests, generator fired %d", i, st.Server.Requests, fired)
+		}
+		if st.Query.OK > 0 && st.Query.P99ms <= 0 {
+			t.Errorf("stage %d: query p99 = %v with %d successes", i, st.Query.P99ms, st.Query.OK)
+		}
+	}
+	if rep.ShedMatch == nil || !*rep.ShedMatch {
+		t.Errorf("shed accounting: match=%v (server delta %d, observed busy %d)", rep.ShedMatch, rep.ShedDelta, rep.TotalBusy)
+	}
+	// run() does not write the file itself (main does); exercise the same
+	// marshal round trip the CLI performs.
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var back report
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Bench != 9 {
+		t.Errorf("bench id = %d, want 9", back.Bench)
+	}
+}
+
+// TestSlowConsumerForcesShed drives the saturation path: slow consumers
+// pin the two admission slots (their stalled reads block the server's
+// response stream), so the open-loop stage must shed — and the busy errors
+// must still reconcile with the server's shed counter.
+func TestSlowConsumerForcesShed(t *testing.T) {
+	addr, metricsURL := startBenchPeer(t)
+	cfg := config{
+		addr:       addr,
+		metricsURL: metricsURL,
+		qps:        []float64{400},
+		duration:   500 * time.Millisecond,
+		conns:      8,
+		seed:       4000,
+		pred:       "bench.data",
+		addPred:    "bench.writes",
+		slow:       2,
+		slowPerRow: 5 * time.Millisecond,
+		checkShed:  true,
+	}
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep.TotalBusy == 0 {
+		t.Error("no ops shed despite both slots pinned by slow consumers")
+	}
+	if rep.ShedMatch == nil || !*rep.ShedMatch {
+		t.Errorf("shed accounting: match=%v (server delta %d, observed busy %d)", rep.ShedMatch, rep.ShedDelta, rep.TotalBusy)
+	}
+}

@@ -40,6 +40,15 @@ import (
 // traceRingSize bounds the finished request traces kept for /debug/traces.
 const traceRingSize = 64
 
+// Operational HTTP server timeouts. Package vars (not consts) so the
+// slow-loris regression test can shorten them: without a ReadHeaderTimeout
+// one client that dribbles header bytes pins an http goroutine forever,
+// and without an IdleTimeout abandoned keep-alive connections accumulate.
+var (
+	httpReadHeaderTimeout = 5 * time.Second
+	httpIdleTimeout       = 60 * time.Second
+)
+
 // options is the command-line configuration of one peerd run.
 type options struct {
 	addr        string
@@ -47,6 +56,10 @@ type options struct {
 	dataDir     string // "" keeps the stored relations purely in memory
 	logFormat   string // "text" or "json"
 	traceSample int
+	maxInflight int           // 0 disables admission control
+	maxQueue    int           // admission wait-queue depth
+	queueWait   time.Duration // max admission queue wait
+	drainWait   time.Duration // graceful-drain bound on shutdown
 }
 
 func main() {
@@ -56,9 +69,13 @@ func main() {
 	flag.StringVar(&opts.dataDir, "data", "", "segment directory for durable stored relations: replayed on startup, journaled while serving, flushed+fsynced on shutdown; empty = in-memory only")
 	flag.StringVar(&opts.logFormat, "log-format", "text", "log record format: text or json")
 	flag.IntVar(&opts.traceSample, "trace-sample", 1, "trace knob: >0 honors and records callers' traced requests, 0 disables server-side tracing")
+	flag.IntVar(&opts.maxInflight, "max-inflight", 0, "admission control: max requests executing concurrently, 0 = unlimited (admission off)")
+	flag.IntVar(&opts.maxQueue, "max-queue", 0, "admission control: wait-queue depth beyond -max-inflight before requests are shed busy")
+	flag.DurationVar(&opts.queueWait, "queue-wait", 0, "admission control: max time a request waits in the queue before being shed (0 = built-in default)")
+	flag.DurationVar(&opts.drainWait, "drain", 5*time.Second, "graceful shutdown: time to let in-flight and queued requests finish before closing connections")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: peerd [-addr host:port] [-http host:port] [-data dir] [-log-format text|json] [-trace-sample n] spec.ppl")
+		fmt.Fprintln(os.Stderr, "usage: peerd [-addr host:port] [-http host:port] [-data dir] [-max-inflight n] [-max-queue n] [-queue-wait d] [-drain d] [-log-format text|json] [-trace-sample n] spec.ppl")
 		os.Exit(2)
 	}
 	d, err := start(flag.Arg(0), opts)
@@ -71,7 +88,13 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	d.log.Info("shutting down")
+	d.log.Info("shutting down", "drain", opts.drainWait)
+	// Graceful drain before close(): stop accepting, let in-flight and
+	// queued requests finish (bounded by -drain), then the usual teardown
+	// flushes the segment store.
+	if err := d.srv.Drain(opts.drainWait); err != nil {
+		d.log.Error("drain", "err", err)
+	}
 }
 
 // daemon is one running peerd: the peer server plus, when configured, the
@@ -153,6 +176,9 @@ func start(path string, opts options) (*daemon, error) {
 	d.tracer.SetSampleEvery(opts.traceSample)
 	d.srv.Logger = d.log.With("component", "server")
 	d.srv.Tracer = d.tracer
+	d.srv.MaxInflight = opts.maxInflight
+	d.srv.MaxQueue = opts.maxQueue
+	d.srv.QueueWait = opts.queueWait
 	d.srv.RegisterMetrics(d.registry)
 	store.RegisterMetrics(d.registry, d.store)
 
@@ -174,7 +200,13 @@ func start(path string, opts options) (*daemon, error) {
 			return nil, err
 		}
 		d.httpAddr = lis.Addr().String()
-		d.httpSrv = &http.Server{Handler: obs.Handler(d.registry, d.tracer)}
+		d.httpSrv = &http.Server{
+			Handler: obs.Handler(d.registry, d.tracer),
+			// Without these a single slow-loris client (or an abandoned
+			// keep-alive connection) pins an http goroutine forever.
+			ReadHeaderTimeout: httpReadHeaderTimeout,
+			IdleTimeout:       httpIdleTimeout,
+		}
 		go d.httpSrv.Serve(lis)
 		d.log.Info("operational endpoint", "addr", d.httpAddr)
 	}

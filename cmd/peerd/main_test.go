@@ -3,11 +3,13 @@ package main
 import (
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/netpeer"
 	"repro/internal/obs"
@@ -142,6 +144,77 @@ func TestFrontDoor(t *testing.T) {
 
 	// pprof is mounted.
 	get(t, base+"/debug/pprof/cmdline")
+}
+
+// TestHTTPSlowLoris verifies the operational HTTP server evicts a client
+// that never finishes sending its request headers. Before ReadHeaderTimeout
+// was set, this connection pinned an http.Server goroutine forever.
+func TestHTTPSlowLoris(t *testing.T) {
+	old := httpReadHeaderTimeout
+	httpReadHeaderTimeout = 100 * time.Millisecond
+	defer func() { httpReadHeaderTimeout = old }()
+
+	d := startTestDaemon(t, options{addr: "127.0.0.1:0", httpAddr: "127.0.0.1:0"})
+	conn, err := net.Dial("tcp", d.httpAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Half a request: the header section never terminates.
+	if _, err := conn.Write([]byte("GET /metrics HTTP/1.1\r\nHost: x\r\nX-Slow: ")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	start := time.Now()
+	buf := make([]byte, 1024)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			break // server closed the connection (possibly after a 408)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("slow-loris connection lived %v, want eviction near the %v header timeout", elapsed, httpReadHeaderTimeout)
+	}
+	// The endpoint still serves well-behaved clients afterwards.
+	get(t, "http://"+d.httpAddr+"/metrics")
+}
+
+// TestAdmissionFlags wires -max-inflight/-max-queue through to the peer
+// server and checks the admission metrics surface on /metrics.
+func TestAdmissionFlags(t *testing.T) {
+	d := startTestDaemon(t, options{
+		addr: "127.0.0.1:0", httpAddr: "127.0.0.1:0",
+		maxInflight: 2, maxQueue: 4, queueWait: 50 * time.Millisecond,
+	})
+	c, err := netpeer.Dial(d.bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Scan("A.r"); err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.SnapshotData
+	body, _ := get(t, "http://"+d.httpAddr+"/metrics")
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"server.shed", "server.accept_retries"} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Fatalf("counter %s missing with admission on: %v", name, snap.Counters)
+		}
+	}
+	for _, name := range []string{"server.inflight", "server.queued"} {
+		if _, ok := snap.Gauges[name]; !ok {
+			t.Fatalf("gauge %s missing with admission on: %v", name, snap.Gauges)
+		}
+	}
+	if _, ok := snap.Histograms["server.queue_wait_seconds"]; !ok {
+		t.Fatal("server.queue_wait_seconds histogram missing")
+	}
+	if st := d.srv.Stats(); st.Shed != 0 {
+		t.Fatalf("unexpected shed count %d in idle test", st.Shed)
+	}
 }
 
 // TestHTTPDisabled keeps the front door off without -http.

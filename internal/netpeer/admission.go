@@ -1,0 +1,154 @@
+package netpeer
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// errShed is returned by admission.acquire when a request must be refused:
+// the in-flight limit is reached and the wait queue is full, or the
+// request's queue wait exceeded the bound. The server answers it with an
+// in-band busy error frame; the request has done no work and is safe to
+// retry after a backoff.
+var errShed = errors.New("netpeer: admission queue full")
+
+// admission is the server's global concurrency gate: at most maxInflight
+// requests execute at once, up to maxQueue more wait in FIFO order for at
+// most maxWait each, and everything beyond that is shed. Slots released
+// while the queue is non-empty transfer directly to the oldest waiter, so
+// admission order is the order acquire was called in (no barging: a new
+// arrival never overtakes a waiter).
+type admission struct {
+	maxInflight int
+	maxQueue    int
+	maxWait     time.Duration
+
+	// waitHist times successful queue waits (admitted requests only; a shed
+	// request's wait is not a service latency).
+	waitHist *obs.Histogram
+	// shedCount counts requests refused with a busy error, for any reason
+	// (queue full, wait bound exceeded).
+	shedCount atomic.Uint64
+
+	mu       sync.Mutex
+	inflight int             // guarded by mu
+	queue    []chan struct{} // guarded by mu (FIFO; head at index 0, closed to grant)
+}
+
+// newAdmission builds a gate; maxInflight must be positive (a nil gate is
+// the admission-off mode).
+func newAdmission(maxInflight, maxQueue int, maxWait time.Duration, waitHist *obs.Histogram) *admission {
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	if maxWait <= 0 {
+		maxWait = defaultQueueWait
+	}
+	return &admission{
+		maxInflight: maxInflight,
+		maxQueue:    maxQueue,
+		maxWait:     maxWait,
+		waitHist:    waitHist,
+	}
+}
+
+// acquire blocks until a slot is granted, the queue-wait bound expires, or
+// ctx is done. It returns nil when admitted (the caller must release),
+// errShed when the request must be answered busy, and ctx.Err() on
+// shutdown. A nil gate admits everything.
+func (g *admission) acquire(ctx context.Context) error {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	// Fast path only when nobody is queued, so a burst cannot barge past
+	// requests already waiting.
+	if g.inflight < g.maxInflight && len(g.queue) == 0 {
+		g.inflight++
+		g.mu.Unlock()
+		return nil
+	}
+	if len(g.queue) >= g.maxQueue {
+		g.mu.Unlock()
+		g.shedCount.Add(1)
+		return errShed
+	}
+	granted := make(chan struct{})
+	g.queue = append(g.queue, granted)
+	g.mu.Unlock()
+
+	start := time.Now()
+	timer := time.NewTimer(g.maxWait)
+	defer timer.Stop()
+	select {
+	case <-granted:
+		g.waitHist.Observe(time.Since(start))
+		return nil
+	case <-timer.C:
+	case <-ctx.Done():
+	}
+	// Timed out or shutting down: withdraw from the queue — unless a grant
+	// raced in between the wakeup and the lock, in which case the slot is
+	// ours and must be kept (dropping it would leak an inflight count).
+	g.mu.Lock()
+	for i, w := range g.queue {
+		if w == granted {
+			g.queue = append(g.queue[:i], g.queue[i+1:]...)
+			g.mu.Unlock()
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			g.shedCount.Add(1)
+			return errShed
+		}
+	}
+	g.mu.Unlock()
+	<-granted // already closed
+	g.waitHist.Observe(time.Since(start))
+	return nil
+}
+
+// release frees one slot: the oldest waiter (if any) inherits it, else the
+// in-flight count drops. A nil gate is a no-op.
+func (g *admission) release() {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	if len(g.queue) > 0 {
+		granted := g.queue[0]
+		copy(g.queue, g.queue[1:])
+		g.queue[len(g.queue)-1] = nil
+		g.queue = g.queue[:len(g.queue)-1]
+		g.mu.Unlock()
+		close(granted)
+		return
+	}
+	g.inflight--
+	g.mu.Unlock()
+}
+
+// load reports the current in-flight and queued request counts. A nil gate
+// reports zeros.
+func (g *admission) load() (inflight, queued int) {
+	if g == nil {
+		return 0, 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inflight, len(g.queue)
+}
+
+// shed reports the cumulative count of requests refused busy. A nil gate
+// reports zero.
+func (g *admission) shed() uint64 {
+	if g == nil {
+		return 0
+	}
+	return g.shedCount.Load()
+}

@@ -1,7 +1,9 @@
 package netpeer
 
 import (
+	"errors"
 	"fmt"
+	"math/rand/v2"
 	"strconv"
 	"sync"
 	"time"
@@ -19,6 +21,18 @@ const maxFanout = 8
 // defaultBindPipeline is how many bind batches an executor keeps in flight
 // per connection: batch i+1 ships while batch i's rows stream back.
 const defaultBindPipeline = 4
+
+// defaultBusyRetries and defaultBusyBackoff shape the client-side response
+// to admission-control shedding: a shed request retries up to
+// defaultBusyRetries times, sleeping a uniform random duration in
+// (0, defaultBusyBackoff<<attempt] before each retry (full jitter).
+const (
+	defaultBusyRetries = 3
+	defaultBusyBackoff = 10 * time.Millisecond
+	// maxBusyBackoff caps one busy-retry backoff step regardless of the
+	// attempt count (keeps long retry budgets from sleeping unboundedly).
+	maxBusyBackoff = time.Second
+)
 
 // defaultIdlePingAfter is the idle age beyond which a pooled connection is
 // health-checked (pinged) before reuse. Long enough that busy workloads
@@ -89,6 +103,22 @@ type Executor struct {
 	// health checks). Set before issuing queries: pools capture it when
 	// first created for an address.
 	IdlePingAfter time.Duration
+	// MaxConnsPerAddr caps total open connections (idle + borrowed) per
+	// peer address (0 = defaultMaxConnsPerAddr). Borrowers beyond the cap
+	// wait for a slot instead of dialing — the dial-storm guard. Set
+	// before issuing queries: pools capture it when first created.
+	MaxConnsPerAddr int
+	// BusyRetries is how many times a request shed by a peer's admission
+	// gate (in-band busy error) is retried after a jittered exponential
+	// backoff before the error surfaces (0 = defaultBusyRetries; negative
+	// disables retries). A shed request never started on the server, so
+	// the retry is safe for any op. Set before issuing queries.
+	BusyRetries int
+	// BusyBackoff is the base of the busy-retry backoff: retry i (from 0)
+	// sleeps a uniform random duration in (0, BusyBackoff<<i] — full
+	// jitter, so a shed burst does not come back as a synchronized burst
+	// (0 = defaultBusyBackoff). Set before issuing queries.
+	BusyBackoff time.Duration
 	// SpillDir / SpillBudget bound the memory of the materialized partial
 	// join: each partial-join buffer keeps at most SpillBudget accounted
 	// bytes (store.TupleBytes) in memory and overflows the rest to spill
@@ -265,21 +295,59 @@ func (e *Executor) pool(addr string) *pool {
 	defer e.mu.Unlock()
 	p, ok := e.pools[addr]
 	if !ok {
-		p = newPool(addr, &e.counters, e.updateMeta, pingAfter)
+		p = newPool(addr, &e.counters, e.updateMeta, pingAfter, e.MaxConnsPerAddr)
 		e.pools[addr] = p
 	}
 	return p
 }
 
-// withClient borrows a pooled connection to addr and runs fn on it. Every
-// protocol request is an idempotent read, so when a *reused* connection
-// fails at the transport level (it may have died or desynced while idle)
-// the call retries once on a freshly-dialed connection. Broken connections
-// are never returned to the pool (put closes them), so a transport error
-// can never leave a desynced stream for a later borrower. fn may therefore
-// run twice: streaming callers must tolerate re-delivery (the executor's
-// join state dedups remote tuples, which makes the replay idempotent).
+// withClient borrows a pooled connection to addr and runs fn on it,
+// retrying (with full-jitter exponential backoff) when the peer sheds the
+// request with an in-band busy error. A shed request never started, so the
+// retry is safe for any op; fn may run several times and streaming callers
+// must tolerate re-delivery (the executor's join state dedups remote
+// tuples, which makes replays idempotent).
 func (e *Executor) withClient(addr string, fn func(*Client) error) error {
+	retries := e.BusyRetries
+	switch {
+	case retries == 0:
+		retries = defaultBusyRetries
+	case retries < 0:
+		retries = 0
+	}
+	backoff := e.BusyBackoff
+	if backoff <= 0 {
+		backoff = defaultBusyBackoff
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = e.withClientOnce(addr, fn)
+		if err == nil || !errors.Is(err, ErrBusy) || attempt >= retries {
+			return err
+		}
+		e.counters.busyRetries.Add(1)
+		// Full jitter: a uniform sleep in (0, backoff<<attempt] decorrelates
+		// the retries of a shed burst instead of replaying it in lockstep.
+		// The step is capped so high retry budgets neither overflow the
+		// shift nor sleep unboundedly.
+		step := backoff
+		for i := 0; i < attempt && step < maxBusyBackoff; i++ {
+			step <<= 1
+		}
+		if step > maxBusyBackoff {
+			step = maxBusyBackoff
+		}
+		time.Sleep(time.Duration(1 + rand.Int64N(int64(step))))
+	}
+}
+
+// withClientOnce is one borrow-run-return cycle. Every protocol request
+// except add is an idempotent read, so when a *reused* connection fails at
+// the transport level (it may have died or desynced while idle) the call
+// retries once on a freshly-dialed connection. Broken connections are
+// never returned to the pool (put closes them), so a transport error can
+// never leave a desynced stream for a later borrower.
+func (e *Executor) withClientOnce(addr string, fn func(*Client) error) error {
 	p := e.pool(addr)
 	c, reused, err := p.get()
 	if err != nil {
@@ -289,7 +357,7 @@ func (e *Executor) withClient(addr string, fn func(*Client) error) error {
 	broken := c.broken
 	p.put(c)
 	if err != nil && broken && reused {
-		c2, derr := p.dial()
+		c2, derr := p.redial()
 		if derr != nil {
 			return err
 		}

@@ -73,8 +73,13 @@ func (s *Server) RegisterMetrics(reg *obs.Registry) {
 		em.Counter("bytes_sent", st.BytesSent)
 		em.Counter("bytes_recv", st.BytesRecv)
 		em.Counter("read_errors", st.ReadErrors)
+		em.Counter("shed", st.Shed)
+		em.Counter("accept_retries", st.AcceptRetries)
+		em.Gauge("inflight", int64(st.Inflight))
+		em.Gauge("queued", int64(st.Queued))
 	})
 	reg.RegisterHistogram("server.request_seconds", s.reqHist)
+	reg.RegisterHistogram("server.queue_wait_seconds", s.queueWaitHist)
 	s.eng.RegisterMetrics(reg)
 }
 
@@ -93,6 +98,9 @@ func (e *Executor) RegisterMetrics(reg *obs.Registry) {
 		em.Counter("bind_batches_pipelined", ws.BindBatchesPipelined)
 		em.Counter("health_pings", ws.HealthPings)
 		em.Counter("health_drops", ws.HealthDrops)
+		em.Counter("dials", ws.Dials)
+		em.Counter("pool_waits", ws.PoolWaits)
+		em.Counter("busy_retries", ws.BusyRetries)
 	})
 	reg.RegisterGroup("fragcache", func(em *obs.Emitter) {
 		fs := e.FragmentStats()

@@ -7,8 +7,16 @@ import (
 )
 
 // maxIdlePerAddr caps how many idle connections a pool keeps per address;
-// bursts beyond the cap dial extra connections and close them on return.
+// connections returned beyond the cap are closed (releasing their slot
+// under the total-connection cap below).
 const maxIdlePerAddr = 8
+
+// defaultMaxConnsPerAddr caps the total connections (idle + borrowed) a
+// pool opens to one address. Before this cap existed, get fell through to
+// dial whenever the idle list was momentarily empty, so a 1k-client burst
+// opened 1k sockets to one peer; now borrowers beyond the cap wait for a
+// slot instead.
+const defaultMaxConnsPerAddr = 64
 
 // idleConn is one pooled connection plus the moment it went idle, so get
 // can health-check connections that sat unused long enough for the peer to
@@ -26,6 +34,13 @@ type idleConn struct {
 // written, response unread) — are closed on return instead of pooled, so a
 // later borrower can never read a stale frame.
 //
+// The pool bounds *total* connections per address (maxConns), not just
+// idle ones: every open connection holds a slot, and a borrower finding no
+// idle connection either dials (slot free) or waits for one (cap reached,
+// counted in PoolWaits). Slots release when connections close — broken on
+// return, over the idle cap, health-check casualties, or pool shutdown —
+// and each release wakes the oldest waiter.
+//
 // Connections idle for at least pingAfter are pinged (a no-op protocol
 // round trip) before being handed out: a connection that died while idle
 // is detected and replaced by a fresh dial here, instead of surfacing its
@@ -41,92 +56,182 @@ type pool struct {
 	// pingAfter is the idle age beyond which get pings a connection before
 	// reuse (0 = never ping).
 	pingAfter time.Duration
+	// maxConns caps total open connections (idle + borrowed) to addr.
+	maxConns int
 
-	mu     sync.Mutex
-	idle   []idleConn // guarded by mu
-	closed bool       // guarded by mu
+	mu      sync.Mutex
+	idle    []idleConn      // guarded by mu
+	active  int             // guarded by mu (open connections: idle + borrowed)
+	waiters []chan struct{} // guarded by mu (FIFO; head woken per released slot or returned conn)
+	closed  bool            // guarded by mu
 }
 
-func newPool(addr string, counters *Counters, onMeta func(preds []string, cards []int, gens []uint64), pingAfter time.Duration) *pool {
-	return &pool{addr: addr, counters: counters, onMeta: onMeta, pingAfter: pingAfter}
+func newPool(addr string, counters *Counters, onMeta func(preds []string, cards []int, gens []uint64), pingAfter time.Duration, maxConns int) *pool {
+	if maxConns <= 0 {
+		maxConns = defaultMaxConnsPerAddr
+	}
+	return &pool{addr: addr, counters: counters, onMeta: onMeta, pingAfter: pingAfter, maxConns: maxConns}
 }
 
 // get returns a connection to the pool's address, reusing an idle one when
 // available. An idle connection older than pingAfter is health-checked
 // first; dead ones are dropped (counted in HealthDrops) and the next idle
-// connection — or a fresh dial — is tried instead. reused reports whether
-// the connection predates this call: a reused connection may still die
-// between the ping and the request, so callers issuing idempotent requests
-// may retry once on a fresh dial (see Executor.withClient).
+// connection — or a fresh dial — is tried instead. With no idle connection
+// and the per-address cap reached, get blocks until a slot frees up.
+// reused reports whether the connection predates this call: a reused
+// connection may still die between the ping and the request, so callers
+// issuing idempotent requests may retry once on a fresh dial (see
+// Executor.withClient).
 func (p *pool) get() (c *Client, reused bool, err error) {
+	waited := false
 	for {
 		p.mu.Lock()
 		if p.closed {
 			p.mu.Unlock()
 			return nil, false, fmt.Errorf("netpeer: pool for %s is closed", p.addr)
 		}
-		n := len(p.idle)
-		if n == 0 {
+		if n := len(p.idle); n > 0 {
+			ic := p.idle[n-1]
+			p.idle[n-1] = idleConn{}
+			p.idle = p.idle[:n-1]
+			p.mu.Unlock()
+			if p.pingAfter > 0 && time.Since(ic.since) >= p.pingAfter {
+				p.counters.healthPings.Add(1)
+				if err := ic.c.Ping(); err != nil {
+					p.counters.healthDrops.Add(1)
+					ic.c.Close()
+					p.releaseSlot()
+					continue
+				}
+			}
+			return ic.c, true, nil
+		}
+		if p.active < p.maxConns {
+			p.active++
 			p.mu.Unlock()
 			c, err = p.dial()
-			return c, false, err
-		}
-		ic := p.idle[n-1]
-		p.idle[n-1] = idleConn{}
-		p.idle = p.idle[:n-1]
-		p.mu.Unlock()
-		if p.pingAfter > 0 && time.Since(ic.since) >= p.pingAfter {
-			p.counters.healthPings.Add(1)
-			if err := ic.c.Ping(); err != nil {
-				p.counters.healthDrops.Add(1)
-				ic.c.Close()
-				continue
+			if err != nil {
+				p.releaseSlot()
+				return nil, false, err
 			}
+			return c, false, nil
 		}
-		return ic.c, true, nil
+		// Cap reached and nothing idle: wait for a returned connection or
+		// a released slot, then retry from the top.
+		w := make(chan struct{})
+		p.waiters = append(p.waiters, w)
+		p.mu.Unlock()
+		if !waited {
+			waited = true
+			p.counters.poolWaits.Add(1)
+		}
+		<-w
 	}
 }
 
 // dial opens a fresh connection wired to the pool's shared counters and
-// meta feedback hook, bypassing the idle list.
+// meta feedback hook. The caller must already hold a connection slot
+// (get's cap check, or redial's explicit acquire).
 func (p *pool) dial() (*Client, error) {
 	c, err := Dial(p.addr)
 	if err != nil {
 		return nil, err
 	}
+	p.counters.dials.Add(1)
 	c.counters = p.counters
 	c.onMeta = p.onMeta
 	return c, nil
 }
 
+// redial acquires a connection slot (waiting under the cap like get) and
+// dials fresh, bypassing the idle list — the broken-reused-connection
+// retry path, where the borrower specifically must not get another stale
+// pooled connection.
+func (p *pool) redial() (*Client, error) {
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return nil, fmt.Errorf("netpeer: pool for %s is closed", p.addr)
+		}
+		if p.active < p.maxConns {
+			p.active++
+			p.mu.Unlock()
+			c, err := p.dial()
+			if err != nil {
+				p.releaseSlot()
+				return nil, err
+			}
+			return c, nil
+		}
+		w := make(chan struct{})
+		p.waiters = append(p.waiters, w)
+		p.mu.Unlock()
+		p.counters.poolWaits.Add(1)
+		<-w
+	}
+}
+
+// releaseSlot returns one connection slot and wakes the oldest waiter.
+func (p *pool) releaseSlot() {
+	p.mu.Lock()
+	p.active--
+	p.wakeLocked()
+	p.mu.Unlock()
+}
+
+// wakeLocked wakes the oldest waiter, if any. Callers hold p.mu.
+func (p *pool) wakeLocked() {
+	if len(p.waiters) == 0 {
+		return
+	}
+	w := p.waiters[0]
+	copy(p.waiters, p.waiters[1:])
+	p.waiters[len(p.waiters)-1] = nil
+	p.waiters = p.waiters[:len(p.waiters)-1]
+	close(w)
+}
+
 // put returns a connection for reuse. Broken connections, and any returned
-// after the pool closed or beyond the idle cap, are closed instead.
+// after the pool closed or beyond the idle cap, are closed instead (and
+// their slot released); a pooled return wakes the oldest waiter, which
+// will find it on the idle list.
 func (p *pool) put(c *Client) {
 	if c == nil {
 		return
 	}
 	if c.broken {
 		c.Close()
+		p.releaseSlot()
 		return
 	}
 	p.mu.Lock()
 	if p.closed || len(p.idle) >= maxIdlePerAddr {
 		p.mu.Unlock()
 		c.Close()
+		p.releaseSlot()
 		return
 	}
 	p.idle = append(p.idle, idleConn{c: c, since: time.Now()})
+	p.wakeLocked()
 	p.mu.Unlock()
 }
 
 // close closes every idle connection and marks the pool closed; in-flight
 // borrowers finish their request and their put closes the connection.
+// Waiters are all woken and observe the closed flag.
 func (p *pool) close() error {
 	p.mu.Lock()
 	idle := p.idle
 	p.idle = nil
+	p.active -= len(idle)
+	waiters := p.waiters
+	p.waiters = nil
 	p.closed = true
 	p.mu.Unlock()
+	for _, w := range waiters {
+		close(w)
+	}
 	var first error
 	for _, ic := range idle {
 		if err := ic.c.Close(); err != nil && first == nil {

@@ -3,7 +3,7 @@
 // JSON/TCP protocol (package wire), and an Executor evaluates reformulated
 // unions of conjunctive queries across the network.
 //
-// The protocol has six ops (see package wire for the JSON envelopes and
+// The protocol has seven ops (see package wire for the JSON envelopes and
 // wire/PROTOCOL.md for the normative specification):
 //
 //   - "catalog": list the stored relations served by this peer together
@@ -22,6 +22,20 @@
 //     revalidation round trip.
 //   - "ping": no-op liveness probe, used by the connection pools' idle
 //     health checks.
+//   - "add": insert a batch of tuples into one stored relation — the
+//     mutation half of mixed read/write workloads, taking the same write
+//     lock as Server.AddFact.
+//
+// The server practices admission control: with Server.MaxInflight set, at
+// most that many requests execute concurrently across all connections, up
+// to MaxQueue more wait in a FIFO queue bounded by QueueWait each, and
+// everything beyond is *shed* with an in-band busy error frame (retryable;
+// the executor's pools back off with jitter and retry). Each connection
+// additionally decodes at most MaxPipeline requests ahead of the one being
+// answered — beyond that it simply stops reading, so a client pipelining
+// thousands of requests is held back by TCP flow control rather than
+// buffering server memory. Graceful shutdown (Drain) stops accepting,
+// lets queued and in-flight requests finish, then closes.
 //
 // Responses STREAM: a row-bearing op answers with bounded chunks
 // (wire.ChunkMaxRows / wire.ChunkMaxBytes) followed by a final frame, so
@@ -29,11 +43,12 @@
 // frame ceiling flow through in O(chunk) memory. The server produces rows
 // through the engine's enumeration hooks (engine.StreamCQ,
 // engine.ProbeByKeyBatchYield) rather than materializing answers, and the
-// final frame of every data response piggybacks the current cardinalities
-// and generations of the relations touched (read under the same lock as
-// the rows, so the piggyback is consistent with the frame): the executor
-// folds the cardinalities into its join-order estimates and the
-// generations into its fragment-cache staleness checks. An oversized or
+// final frame of every data response piggybacks the cardinalities and
+// generations of the relations touched (captured before row production,
+// so the generation is a floor: the stream carries at least everything at
+// that generation — see wire/PROTOCOL.md): the executor folds the
+// cardinalities into its join-order estimates and the generations into
+// its fragment-cache staleness checks. An oversized or
 // garbled *request* frame is answered with an in-band error (the stream
 // stays framed), never a silent connection drop; genuinely broken streams
 // are counted and reported through the optional Server.Logf diagnostic
@@ -116,6 +131,27 @@ const defaultMaxRequestBytes = 64 << 20
 // chunk per timeout.
 const defaultWriteTimeout = 60 * time.Second
 
+// defaultQueueWait bounds one request's admission-queue wait when the
+// server runs with MaxInflight set but no explicit QueueWait: long enough
+// to ride out a burst, short enough that a queued client learns it is
+// being shed instead of timing out blind.
+const defaultQueueWait = time.Second
+
+// defaultMaxPipeline is how many requests one connection may have decoded
+// ahead of the one currently being answered. Past it the connection's read
+// loop pauses, so a pipelining client is throttled by TCP flow control
+// instead of server memory.
+const defaultMaxPipeline = 8
+
+// acceptBackoffMin and acceptBackoffMax bound the retry backoff of the
+// accept loop after a temporary Accept failure (EMFILE under connection
+// storms, ECONNABORTED, ...). The backoff doubles per consecutive failure
+// and resets on success.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = time.Second
+)
+
 // Server serves one peer's stored relations. Eval requests run through a
 // per-server indexed engine whose indexes and compiled plans persist across
 // requests (and catch up incrementally with AddFact).
@@ -141,27 +177,68 @@ type Server struct {
 	// reading is disconnected after one timeout instead of pinning the
 	// server's read lock.
 	WriteTimeout time.Duration
+	// MaxInflight caps requests executing concurrently across all
+	// connections; requests beyond it wait in a bounded FIFO queue and are
+	// shed with an in-band busy error once the queue is full or the wait
+	// exceeds QueueWait. 0 disables admission control (every request is
+	// admitted immediately). Set before Start.
+	MaxInflight int
+	// MaxQueue bounds the admission wait queue (0 = no queue: requests
+	// beyond MaxInflight are shed immediately). Meaningful only with
+	// MaxInflight > 0. Set before Start.
+	MaxQueue int
+	// QueueWait bounds one request's admission wait (0 = defaultQueueWait).
+	// Set before Start.
+	QueueWait time.Duration
+	// MaxPipeline caps requests decoded ahead per connection while earlier
+	// ones are still being answered (0 = defaultMaxPipeline). Once the
+	// read-ahead buffer is full the connection stops reading — TCP flow
+	// control, not server memory, absorbs an over-eager pipeliner. Set
+	// before Start.
+	MaxPipeline int
 
+	// mu guards the lifecycle fields below (lis, cancel, adm) with brief
+	// exclusive sections; data paths — streams and inserts alike — only
+	// ever take the read side. Nothing data-bearing may take the write
+	// lock: a stream holds RLock for its whole response, so one stalled
+	// consumer plus one pending writer would convoy every later reader
+	// behind this write-preferring RWMutex (see handleAdd). Relation
+	// shards self-synchronize, which is what keeps read-side inserts safe.
 	mu   sync.RWMutex
-	data *rel.Instance // guarded by mu (writes via AddFact; streams read under RLock)
+	data *rel.Instance // guarded by mu (all access under RLock; shards self-synchronize)
 	// view is the storage-interface view of data the catalog/meta paths
 	// read; same guard discipline as data.
 	view store.Instance
 	eng  *engine.Engine
 
-	// reqHist times every request (decode to final frame written),
-	// exported as server.request_seconds by RegisterMetrics.
+	// reqHist times every admitted request (dequeue to final frame
+	// written, admission wait included), exported as
+	// server.request_seconds by RegisterMetrics.
 	reqHist *obs.Histogram
+	// queueWaitHist times successful admission-queue waits, exported as
+	// server.queue_wait_seconds by RegisterMetrics.
+	queueWaitHist *obs.Histogram
+	// adm is the admission gate, built by ServeListener from MaxInflight/
+	// MaxQueue/QueueWait (nil = admission off).
+	adm *admission // guarded by mu (ServeListener publishes; read via gate)
 
 	lis    net.Listener       // guarded by mu (Start publishes, Close consumes)
 	cancel context.CancelFunc // guarded by mu
 	wg     sync.WaitGroup
 
-	requests   atomic.Uint64
-	rowsServed atomic.Uint64
-	bytesSent  atomic.Uint64
-	bytesRecv  atomic.Uint64
-	readErrors atomic.Uint64
+	// draining is set by Drain: the listener is gone, connections finish
+	// the requests they have read (including pipelined read-ahead) and
+	// unblocked idle reads exit cleanly instead of counting as errors.
+	draining atomic.Bool
+	connMu   sync.Mutex
+	conns    map[net.Conn]struct{} // guarded by connMu (live connections, for Drain's read-deadline nudge)
+
+	requests      atomic.Uint64
+	rowsServed    atomic.Uint64
+	bytesSent     atomic.Uint64
+	bytesRecv     atomic.Uint64
+	readErrors    atomic.Uint64
+	acceptRetries atomic.Uint64
 }
 
 // ServerStats is a snapshot of a server's cumulative wire-level counters.
@@ -177,16 +254,39 @@ type ServerStats struct {
 	// in-band error response; the rest tear down the connection with a
 	// Logf diagnostic instead of dying silently.
 	ReadErrors uint64
+	// Shed counts requests refused with an in-band busy error by the
+	// admission gate (queue full or queue-wait bound exceeded).
+	Shed uint64
+	// AcceptRetries counts temporary Accept failures the listen loop rode
+	// out with backoff instead of terminating.
+	AcceptRetries uint64
+	// Inflight and Queued are instantaneous admission-gate readings:
+	// requests currently executing and currently waiting for a slot.
+	Inflight, Queued int
+}
+
+// gate returns the admission gate (nil while the server has not started
+// or runs without admission control).
+func (s *Server) gate() *admission {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.adm
 }
 
 // Stats returns a snapshot of the server's wire-level counters.
 func (s *Server) Stats() ServerStats {
+	adm := s.gate()
+	inflight, queued := adm.load()
 	return ServerStats{
-		Requests:   s.requests.Load(),
-		RowsServed: s.rowsServed.Load(),
-		BytesSent:  s.bytesSent.Load(),
-		BytesRecv:  s.bytesRecv.Load(),
-		ReadErrors: s.readErrors.Load(),
+		Requests:      s.requests.Load(),
+		RowsServed:    s.rowsServed.Load(),
+		BytesSent:     s.bytesSent.Load(),
+		BytesRecv:     s.bytesRecv.Load(),
+		ReadErrors:    s.readErrors.Load(),
+		Shed:          adm.shed(),
+		AcceptRetries: s.acceptRetries.Load(),
+		Inflight:      inflight,
+		Queued:        queued,
 	}
 }
 
@@ -196,15 +296,22 @@ func NewServer(data *rel.Instance) *Server {
 	if data == nil {
 		data = rel.NewInstance()
 	}
-	return &Server{data: data, view: store.InstanceOf(data), eng: engine.New(data), reqHist: obs.NewHistogram()}
+	return &Server{
+		data:          data,
+		view:          store.InstanceOf(data),
+		eng:           engine.New(data),
+		reqHist:       obs.NewHistogram(),
+		queueWaitHist: obs.NewHistogram(),
+		conns:         map[net.Conn]struct{}{},
+	}
 }
 
-// AddFact inserts a tuple into a served relation. It blocks while a
-// response stream is being written (responses are produced under the read
-// lock so one request sees one consistent instance).
+// AddFact inserts a tuple into a served relation. Inserts self-synchronize
+// at the shard level, so this never waits for (or convoys behind) an
+// in-flight response stream; the read lock only pins the instance pointer.
 func (s *Server) AddFact(pred string, t rel.Tuple) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	_, err := s.data.Add(pred, t)
 	return err
 }
@@ -216,18 +323,30 @@ func (s *Server) Start(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	s.ServeListener(lis)
+	return lis.Addr().String(), nil
+}
+
+// ServeListener serves the peer protocol on a caller-provided listener
+// (tests inject fault-injecting listeners here; Start wraps it with a TCP
+// listen). It returns immediately; Close or Drain stop it and close lis.
+func (s *Server) ServeListener(lis net.Listener) {
 	ctx, cancel := context.WithCancel(context.Background())
 	s.mu.Lock()
 	s.lis = lis
 	s.cancel = cancel
+	if s.MaxInflight > 0 {
+		s.adm = newAdmission(s.MaxInflight, s.MaxQueue, s.QueueWait, s.queueWaitHist)
+	}
 	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.acceptLoop(ctx, lis)
-	return lis.Addr().String(), nil
 }
 
-// Close stops the listener and waits for in-flight connections. It is
-// safe to call from a goroutine other than the one that called Start.
+// Close stops the listener, disconnects every client, and waits for the
+// connection goroutines. In-flight requests are aborted (their connections
+// close under them); use Drain first for a graceful stop. It is safe to
+// call from a goroutine other than the one that called Start.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	lis, cancel := s.lis, s.cancel
@@ -237,19 +356,93 @@ func (s *Server) Close() error {
 	}
 	var err error
 	if lis != nil {
-		err = lis.Close()
+		if cerr := lis.Close(); cerr != nil && !errors.Is(cerr, net.ErrClosed) {
+			// Drain may already have closed the listener; that is not an
+			// error of this Close.
+			err = cerr
+		}
 	}
 	s.wg.Wait()
 	return err
 }
 
+// Drain shuts the server down gracefully: stop accepting new connections,
+// let every request already read — executing, queued for admission, or
+// decoded ahead in a connection's pipeline — finish, then close. Clients
+// idle at a frame boundary are disconnected cleanly. Connections still
+// busy after timeout are cut off by the final Close. Drain does not shed
+// queued work: admission waiters are granted or shed by their own
+// queue-wait bound as usual.
+func (s *Server) Drain(timeout time.Duration) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	lis := s.lis
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close() // stop accepting; acceptLoop exits on net.ErrClosed
+	}
+	// Nudge idle readers out of their blocking read: buffered (pipelined)
+	// requests still drain from the bufio layer, but a connection waiting
+	// at a frame boundary sees a timeout, which the read loop treats as a
+	// clean disconnect while draining.
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.connMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+	}
+	return s.Close()
+}
+
+// trackConn registers a live connection for Drain's read-deadline nudge.
+func (s *Server) trackConn(conn net.Conn, add bool) {
+	s.connMu.Lock()
+	if add {
+		s.conns[conn] = struct{}{}
+	} else {
+		delete(s.conns, conn)
+	}
+	s.connMu.Unlock()
+}
+
 func (s *Server) acceptLoop(ctx context.Context, lis net.Listener) {
 	defer s.wg.Done()
+	var backoff time.Duration
 	for {
 		conn, err := lis.Accept()
 		if err != nil {
-			return // listener closed
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return // shut down
+			}
+			// A failed Accept is almost always transient — EMFILE during a
+			// connection storm, ECONNABORTED, a momentary kernel refusal —
+			// and returning here would silently take the whole peer down
+			// (the original bug: one descriptor-exhaustion blip terminated
+			// Serve). Retry with capped exponential backoff; genuine
+			// listener death surfaces as net.ErrClosed above.
+			if backoff == 0 {
+				backoff = acceptBackoffMin
+			} else if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			s.acceptRetries.Add(1)
+			s.logw("netpeer: accept failed; retrying", "err", err, "backoff", backoff)
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(backoff):
+			}
+			continue
 		}
+		backoff = 0
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -271,12 +464,23 @@ func (w serverConnWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// connItem is one unit of per-connection work handed from the read loop to
+// the handler: a decoded request, or an in-band error to answer in order.
+type connItem struct {
+	req wire.Request
+	// errMsg, when non-empty, short-circuits handling: the handler answers
+	// with this in-band error frame instead of dispatching req (over-limit
+	// frames, undecodable JSON). The stream stays framed either way.
+	errMsg string
+}
+
 func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 	// Close the connection when the server shuts down so the reads below
 	// unblock and Close's WaitGroup drains even with idle clients.
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
-	br := bufio.NewReaderSize(conn, 64*1024)
+	s.trackConn(conn, true)
+	defer s.trackConn(conn, false)
 	bw := bufio.NewWriterSize(serverConnWriter{s: s, conn: conn}, 64*1024)
 	enc := json.NewEncoder(bw)
 	writeTimeout := s.WriteTimeout
@@ -287,7 +491,8 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 	// client makes progress chunk by chunk. Each frame gets its own write
 	// deadline: response streams run under the server's read lock, and a
 	// client that stops draining must cost a dropped connection, not a
-	// wedged lock.
+	// wedged lock. Only this (handler) goroutine calls send, so responses
+	// stay in request order even with the read loop decoding ahead.
 	send := func(resp wire.Response) error {
 		if writeTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(writeTimeout))
@@ -298,16 +503,81 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 		}
 		return bw.Flush()
 	}
-	maxFrame := s.MaxRequestBytes
-	if maxFrame <= 0 {
-		maxFrame = defaultMaxRequestBytes
+
+	// Pipelining split: a read loop decodes up to MaxPipeline requests
+	// ahead while this goroutine answers them strictly in order. The
+	// channel bound is the per-connection pipelining limit — when it fills,
+	// the read loop stops reading and TCP flow control pushes back on the
+	// client.
+	depth := s.MaxPipeline
+	if depth <= 0 {
+		depth = defaultMaxPipeline
 	}
-	for {
+	items := make(chan connItem, depth)
+	// handlerDone unblocks a read loop stuck sending on items after the
+	// handler bails out mid-queue (transport failure on a response write).
+	handlerDone := make(chan struct{})
+	defer close(handlerDone)
+	go s.readRequests(conn, items, handlerDone)
+
+	adm := s.gate()
+	for it := range items {
 		select {
 		case <-ctx.Done():
 			return
 		default:
 		}
+		if it.errMsg != "" {
+			if send(wire.Response{Error: it.errMsg}) != nil {
+				return
+			}
+			continue
+		}
+		// Admission: acquire a global execution slot (or queue for one)
+		// before any work happens. A shed request is answered with a
+		// retryable in-band busy frame and costs the server nothing else.
+		if err := adm.acquire(ctx); err != nil {
+			if errors.Is(err, errShed) {
+				if send(wire.Response{
+					Error: fmt.Sprintf("server busy: %d in flight, %d queued", s.MaxInflight, s.MaxQueue),
+					Busy:  true,
+				}) != nil {
+					return
+				}
+				continue
+			}
+			return // shutting down
+		}
+		reqStart := time.Now()
+		err := s.handleStream(it.req, send)
+		s.reqHist.Observe(time.Since(reqStart))
+		adm.release()
+		if err != nil {
+			return
+		}
+	}
+}
+
+// readRequests is a connection's read loop: it decodes frames into items
+// until EOF, a terminal read failure, or the handler's exit. In-band
+// recoverable failures (over-limit frames, bad JSON) flow through the
+// channel so the handler answers them in order.
+func (s *Server) readRequests(conn net.Conn, items chan<- connItem, handlerDone <-chan struct{}) {
+	defer close(items)
+	br := bufio.NewReaderSize(conn, 64*1024)
+	maxFrame := s.MaxRequestBytes
+	if maxFrame <= 0 {
+		maxFrame = defaultMaxRequestBytes
+	}
+	push := func(it connItem) bool {
+		select {
+		case items <- it:
+			return true
+		case <-handlerDone:
+			return false
+		}
+	}
+	for {
 		frame, err := wire.ReadFrame(br, maxFrame)
 		switch {
 		case err == nil:
@@ -319,13 +589,20 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 			s.requests.Add(1)
 			s.readErrors.Add(1)
 			s.logw("netpeer: request frame over limit", "peer", conn.RemoteAddr(), "limit", maxFrame)
-			if send(wire.Response{Error: fmt.Sprintf("request frame exceeds %d bytes", maxFrame)}) != nil {
+			if !push(connItem{errMsg: fmt.Sprintf("request frame exceeds %d bytes", maxFrame)}) {
 				return
 			}
 			continue
 		case errors.Is(err, io.EOF):
 			return // clean disconnect at a frame boundary
 		default:
+			var ne net.Error
+			if s.draining.Load() && errors.As(err, &ne) && ne.Timeout() {
+				// Drain's read-deadline nudge: the client is idle at a
+				// frame boundary (any buffered pipelined requests were
+				// already decoded above); wind the connection down quietly.
+				return
+			}
 			s.readErrors.Add(1)
 			s.logw("netpeer: reading request", "peer", conn.RemoteAddr(), "err", err)
 			return
@@ -334,15 +611,12 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 		s.bytesRecv.Add(uint64(len(frame) + 1))
 		var req wire.Request
 		if err := json.Unmarshal(frame, &req); err != nil {
-			if send(wire.Response{Error: fmt.Sprintf("bad request: %v", err)}) != nil {
+			if !push(connItem{errMsg: fmt.Sprintf("bad request: %v", err)}) {
 				return
 			}
 			continue
 		}
-		reqStart := time.Now()
-		err = s.handleStream(req, send)
-		s.reqHist.Observe(time.Since(reqStart))
-		if err != nil {
+		if !push(connItem{req: req}) {
 			return
 		}
 	}
@@ -385,7 +659,11 @@ func (c *chunker) finish(preds []string, cards []int, gens []uint64) error {
 // handleStream answers one request as a stream of frames through send. It
 // returns the first transport error, or nil once the response — success or
 // in-band error — is fully written. Row production runs under the read
-// lock so one request observes one consistent instance.
+// lock, but so do concurrent adds (shards self-synchronize): with
+// append-only relations a stream observes a superset of the instance at
+// its start and a subset of the instance at its end, the sound consistency
+// contract for monotone conjunctive queries — and the one that keeps a
+// stalled stream from convoying the rest of the server (see handleAdd).
 func (s *Server) handleStream(req wire.Request, send func(wire.Response) error) error {
 	// A traced request (req.Trace set) gets a detached server-side span
 	// tree; exported finishes it and flattens it for the success final
@@ -407,12 +685,24 @@ func (s *Server) handleStream(req wire.Request, send func(wire.Response) error) 
 		s.Tracer.Record(root)
 		return spansToWire(root.Export(req.Span))
 	}
+	if req.Op == "add" {
+		// The one mutating op: it needs the write lock, so it branches off
+		// before the read lock the streaming ops hold for their whole
+		// response.
+		return s.handleAdd(req, send, exported)
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	// metaOf assembles the piggyback payload for the touched relations:
 	// cardinality (a join-order estimate) and generation (the fragment
-	// cache's staleness token), both read under the read lock held for the
-	// whole response, so they are consistent with the rows of the frame.
+	// cache's staleness token). Streaming ops capture it BEFORE row
+	// production: with adds landing concurrently, a generation read after
+	// the stream could include a tuple the stream already walked past (and
+	// so missed), and a fragment tagged with it would claim completeness it
+	// doesn't have. Captured up front, the tag is a floor — the append-only
+	// logs guarantee the stream carries everything at or before it, and any
+	// extra rows that land mid-stream are true tuples monotone queries
+	// absorb.
 	metaOf := func(preds ...string) ([]string, []int, []uint64) {
 		cards := make([]int, len(preds))
 		gens := make([]uint64, len(preds))
@@ -429,8 +719,10 @@ func (s *Server) handleStream(req wire.Request, send func(wire.Response) error) 
 		preds, cards, gens := metaOf(s.view.Relations()...)
 		return send(wire.Response{Preds: preds, Cards: cards, Gens: gens, Spans: exported()})
 	case "gens":
-		// The fragment-cache revalidation round trip: tiny, row-free, and
-		// answered from the same lock-consistent snapshot as any data op.
+		// The fragment-cache revalidation round trip: tiny and row-free.
+		// Each generation read is individually current; callers compare
+		// them per predicate against cached floors, so no cross-predicate
+		// snapshot is needed.
 		preds, cards, gens := metaOf(req.Preds...)
 		return send(wire.Response{Preds: preds, Cards: cards, Gens: gens, Spans: exported()})
 	case "ping":
@@ -441,6 +733,7 @@ func (s *Server) handleStream(req wire.Request, send func(wire.Response) error) 
 		// StreamScan walks the per-shard insert logs directly: no sort, no
 		// sorted-view materialization, O(chunk) memory end to end. Row order
 		// is per-shard insertion order (unspecified globally).
+		preds, cards, gens := metaOf(req.Pred)
 		c := &chunker{send: send}
 		ss := root.Child("scan", obs.Attr{K: "pred", V: req.Pred})
 		err := s.eng.StreamScan(req.Pred, c.row)
@@ -454,7 +747,7 @@ func (s *Server) handleStream(req wire.Request, send func(wire.Response) error) 
 			return send(wire.Response{Error: err.Error()})
 		}
 		c.spans = exported()
-		return c.finish(metaOf(req.Pred))
+		return c.finish(preds, cards, gens)
 	case "eval":
 		if req.Query == nil {
 			return send(wire.Response{Error: "eval: missing query"})
@@ -463,6 +756,15 @@ func (s *Server) handleStream(req wire.Request, send func(wire.Response) error) 
 		if err != nil {
 			return send(wire.Response{Error: err.Error()})
 		}
+		seen := map[string]bool{}
+		var bodyPreds []string
+		for _, a := range q.Body {
+			if !seen[a.Pred] {
+				seen[a.Pred] = true
+				bodyPreds = append(bodyPreds, a.Pred)
+			}
+		}
+		preds, cards, gens := metaOf(bodyPreds...)
 		c := &chunker{send: send}
 		es := root.Child("eval", obs.Attr{K: "head", V: q.Head.Pred})
 		err = s.eng.StreamCQ(q, c.row)
@@ -477,21 +779,14 @@ func (s *Server) handleStream(req wire.Request, send func(wire.Response) error) 
 			// supersedes any rows already shipped.
 			return send(wire.Response{Error: err.Error()})
 		}
-		seen := map[string]bool{}
-		var preds []string
-		for _, a := range q.Body {
-			if !seen[a.Pred] {
-				seen[a.Pred] = true
-				preds = append(preds, a.Pred)
-			}
-		}
 		c.spans = exported()
-		return c.finish(metaOf(preds...))
+		return c.finish(preds, cards, gens)
 	case "bind":
 		pred, cols, keys, err := bindProbeArgs(req)
 		if err != nil {
 			return send(wire.Response{Error: err.Error()})
 		}
+		bindPreds, cards, gens := metaOf(pred)
 		c := &chunker{send: send}
 		bs := root.Child("bind", obs.Attr{K: "pred", V: pred})
 		bs.SetInt("keys", int64(len(keys)))
@@ -506,10 +801,52 @@ func (s *Server) handleStream(req wire.Request, send func(wire.Response) error) 
 			return send(wire.Response{Error: err.Error()})
 		}
 		c.spans = exported()
-		return c.finish(metaOf(pred))
+		return c.finish(bindPreds, cards, gens)
 	default:
 		return send(wire.Response{Error: fmt.Sprintf("unknown op %q", req.Op)})
 	}
+}
+
+// handleAdd applies one add request: insert req.Rows into req.Pred (rows
+// become visible individually as each shard-level insert lands — the batch
+// is not an atomic unit of visibility), then answer with a single final
+// frame whose piggyback metadata (cardinality, generation) is read after
+// the last insert, so the client's fragment cache sees a generation at
+// least as new as its own write. A failed row stops the batch; rows before
+// it stay inserted (the in-band error reports how many landed).
+//
+// Inserts deliberately run under the read lock (shards self-synchronize):
+// an exclusive lock here would convoy the whole server behind any stalled
+// response stream — streams hold the read lock end to end, so one slow
+// consumer plus one pending writer would block every later reader on this
+// write-preferring RWMutex for as long as the stall lasts (bounded only by
+// WriteTimeout). Append-only relations keep concurrent streams sound: a
+// stream observes a superset of its start-state and a subset of its
+// end-state, which is exactly right for monotone conjunctive queries.
+func (s *Server) handleAdd(req wire.Request, send func(wire.Response) error, exported func() []wire.Span) error {
+	if req.Pred == "" {
+		return send(wire.Response{Error: "add: missing pred"})
+	}
+	s.mu.RLock()
+	var inserted int
+	var addErr error
+	for _, row := range req.Rows {
+		if _, addErr = s.data.Add(req.Pred, rel.Tuple(row)); addErr != nil {
+			break
+		}
+		inserted++
+	}
+	var cards []int
+	var gens []uint64
+	if r := s.view.Relation(req.Pred); r != nil {
+		cards = []int{r.Len()}
+		gens = []uint64{r.Version()}
+	}
+	s.mu.RUnlock()
+	if addErr != nil {
+		return send(wire.Response{Error: fmt.Sprintf("add: row %d of %d: %v", inserted, len(req.Rows), addErr)})
+	}
+	return send(wire.Response{Preds: []string{req.Pred}, Cards: cards, Gens: gens, Spans: exported()})
 }
 
 // bindProbeArgs validates one bind request and lowers it to a probe: the
@@ -593,6 +930,9 @@ type Counters struct {
 	bindPipelined atomic.Uint64
 	healthPings   atomic.Uint64
 	healthDrops   atomic.Uint64
+	dials         atomic.Uint64
+	poolWaits     atomic.Uint64
+	busyRetries   atomic.Uint64
 }
 
 // WireStats is a snapshot of client-side wire counters.
@@ -619,6 +959,16 @@ type WireStats struct {
 	// reuse; HealthDrops counts those the ping found dead (closed and
 	// replaced by a fresh dial instead of surfacing a first-use failure).
 	HealthPings, HealthDrops uint64
+	// Dials counts connections opened (pool misses plus broken-connection
+	// replacements). A burst against one peer keeps this near the pool's
+	// per-address connection cap instead of scaling with the burst.
+	Dials uint64
+	// PoolWaits counts borrows that blocked because the per-address
+	// connection cap was reached (the dial-storm guard working).
+	PoolWaits uint64
+	// BusyRetries counts requests re-sent after the peer shed them with an
+	// in-band busy error (each retry waits out a jittered backoff first).
+	BusyRetries uint64
 }
 
 // Snapshot returns the current counter values.
@@ -633,6 +983,9 @@ func (ct *Counters) Snapshot() WireStats {
 		BindBatchesPipelined: ct.bindPipelined.Load(),
 		HealthPings:          ct.healthPings.Load(),
 		HealthDrops:          ct.healthDrops.Load(),
+		Dials:                ct.dials.Load(),
+		PoolWaits:            ct.poolWaits.Load(),
+		BusyRetries:          ct.busyRetries.Load(),
 	}
 }
 
@@ -683,6 +1036,13 @@ type Client struct {
 	// pool drops broken clients.
 	broken bool
 }
+
+// ErrBusy marks a shed request: the server's admission gate refused to
+// start it (in-flight limit reached, wait queue full or wait bound
+// exceeded). The request did no work, the connection stays usable, and a
+// retry after a jittered backoff is safe for any op (the executor's pool
+// does this automatically). Test with errors.Is.
+var ErrBusy = errors.New("netpeer: server busy")
 
 // clientConnWriter counts request bytes as they hit the socket.
 type clientConnWriter struct{ c *Client }
@@ -750,7 +1110,12 @@ func (c *Client) readStream(onRows func([][]string) error) (wire.Response, error
 		}
 		if resp.Error != "" {
 			// A remote error frame is final and well-framed: the stream
-			// stays in sync and the connection remains usable.
+			// stays in sync and the connection remains usable. A busy frame
+			// additionally wraps ErrBusy so pool users can retry with
+			// backoff (the request was never started on the server).
+			if resp.Busy {
+				return wire.Response{}, fmt.Errorf("%w: %s", ErrBusy, resp.Error)
+			}
 			return wire.Response{}, fmt.Errorf("netpeer: remote: %s", resp.Error)
 		}
 		if c.counters != nil {
@@ -880,6 +1245,25 @@ func (c *Client) Ping() error {
 	return err
 }
 
+// Add inserts a batch of rows into one relation on the peer (the
+// protocol's single mutating op). The returned generation is the
+// relation's version read after the batch's last insert landed — at
+// least as new as this write, possibly newer under concurrent writers.
+// Set semantics make the op idempotent (re-inserting an existing tuple
+// is a no-op), so retrying after an ambiguous failure is safe; a busy
+// error (errors.Is(err, ErrBusy)) additionally means the batch was
+// never started.
+func (c *Client) Add(pred string, rows [][]string) (gen uint64, err error) {
+	resp, err := c.roundTrip(wire.Request{Op: "add", Pred: pred, Rows: rows})
+	if err != nil {
+		return 0, err
+	}
+	if len(resp.Gens) > 0 {
+		gen = resp.Gens[0]
+	}
+	return gen, nil
+}
+
 // Scan fetches all tuples of one relation.
 func (c *Client) Scan(pred string) ([]rel.Tuple, error) {
 	resp, err := c.roundTrip(wire.Request{Op: "scan", Pred: pred})
@@ -887,6 +1271,16 @@ func (c *Client) Scan(pred string) ([]rel.Tuple, error) {
 		return nil, err
 	}
 	return wire.RowsToTuples(resp.Rows), nil
+}
+
+// ScanStream streams one relation's tuples through yield as response
+// frames arrive, without materializing the result. A yield that stalls
+// stalls the read loop — and, once the socket buffers fill, the serving
+// peer's response stream (the load generator's slow-consumer mode leans on
+// exactly this backpressure).
+func (c *Client) ScanStream(pred string, yield func(rel.Tuple) error) error {
+	_, err := c.roundTripStream(wire.Request{Op: "scan", Pred: pred}, rowsToYield(yield))
+	return err
 }
 
 // EvalStream evaluates a conjunctive query remotely — every body atom must

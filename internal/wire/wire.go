@@ -3,7 +3,7 @@
 // the request/response envelopes of the peer protocol.
 //
 // The protocol is newline-delimited JSON over TCP: one request per line,
-// answered by a *stream* of one or more response frames. Six request
+// answered by a *stream* of one or more response frames. Seven request
 // kinds:
 //
 //	{"op":"eval", "query":{…}}        evaluate a CQ over this peer's stored
@@ -25,6 +25,15 @@
 //	{"op":"ping"}                     no-op liveness probe; connection pools
 //	                                  use it to health-check idle-too-long
 //	                                  connections before reuse
+//	{"op":"add", "pred":"FH.doc",     insert a batch of tuples into one
+//	 "rows":[[…]]}                    stored relation (creating it on first
+//	                                  use) — the mutation half of mixed
+//	                                  read/write workloads
+//
+// A server under admission control may answer any request with a *busy*
+// error frame ({"error":…,"busy":true}): the request was shed before doing
+// any work and is safe to retry after a backoff — the connection stays
+// usable.
 //
 // Responses are chunked: a row-bearing op (eval, scan, bind) answers with
 // zero or more non-final frames {"rows":[…],"more":true} — each bounded in
@@ -205,12 +214,14 @@ func (q CQ) ToCQ() (lang.CQ, error) {
 
 // Request is one protocol request.
 type Request struct {
-	// Op is "eval", "scan", "catalog", "bind", "gens" or "ping".
+	// Op is "eval", "scan", "catalog", "bind", "gens", "add" or "ping".
 	Op string `json:"op"`
 	// Query is the CQ for eval.
 	Query *CQ `json:"query,omitempty"`
-	// Pred is the relation for scan.
+	// Pred is the relation for scan and add.
 	Pred string `json:"pred,omitempty"`
+	// Rows is the batch of tuples an add request inserts into Pred.
+	Rows [][]string `json:"rows,omitempty"`
 	// Preds lists the relations whose generations a gens request asks for.
 	Preds []string `json:"preds,omitempty"`
 	// Atom is the atom to probe for bind: constant arguments are pushed
@@ -257,10 +268,16 @@ type SpanAttr struct {
 // answer with zero or more non-final frames (More set) followed by one
 // final frame; every other op answers with a single final frame.
 type Response struct {
-	// Error is non-empty on failure; other fields are then unset. An error
-	// frame is always final and may arrive mid-stream, superseding any rows
-	// already received for the request.
+	// Error is non-empty on failure; other fields (except Busy) are then
+	// unset. An error frame is always final and may arrive mid-stream,
+	// superseding any rows already received for the request.
 	Error string `json:"error,omitempty"`
+	// Busy marks an error frame as an admission-control shed: the server
+	// refused to start the request because its in-flight limit and wait
+	// queue were exhausted. The request had no effect and is safe to retry
+	// after a backoff; the connection remains usable. Meaningful only with
+	// Error set.
+	Busy bool `json:"busy,omitempty"`
 	// Rows carries one bounded chunk of eval/scan/bind results.
 	Rows [][]string `json:"rows,omitempty"`
 	// More marks a non-final frame: further frames for the same request
