@@ -410,3 +410,197 @@ func TestBusyRetryMasksShedding(t *testing.T) {
 		t.Fatalf("gate not drained: queued=%d", st.Queued)
 	}
 }
+
+// TestPoolHandsConnectionToWaiter pins the FIFO ownership transfer: a
+// connection returned while a borrower waits at the cap must be handed to
+// that waiter directly — under wake-and-retry the woken waiter raced every
+// new arrival for the idle list and could lose (and re-queue at the back)
+// indefinitely.
+func TestPoolHandsConnectionToWaiter(t *testing.T) {
+	_, addr := startServerH(t, map[string][]rel.Tuple{"A.r": {{"1", "a"}}})
+	ctrs := &Counters{}
+	p := newPool(addr, ctrs, nil, 0, 1)
+	t.Cleanup(func() { p.close() })
+
+	c, reused, err := p.get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused {
+		t.Fatal("first borrow reported reused")
+	}
+	type borrow struct {
+		c      *Client
+		reused bool
+		err    error
+	}
+	got := make(chan borrow, 1)
+	go func() {
+		c2, r2, err2 := p.get()
+		got <- borrow{c2, r2, err2}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		p.mu.Lock()
+		n := len(p.waiters)
+		p.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("borrower never queued at the cap")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.put(c)
+	b := <-got
+	if b.err != nil {
+		t.Fatal(b.err)
+	}
+	if b.c != c {
+		t.Fatal("waiter got a different connection: returned one was not handed off")
+	}
+	if !b.reused {
+		t.Fatal("handed-off connection not reported as reused")
+	}
+	p.mu.Lock()
+	idle := len(p.idle)
+	p.mu.Unlock()
+	if idle != 0 {
+		t.Fatalf("idle list holds %d connections during a handoff, want 0", idle)
+	}
+	if got := ctrs.poolWaits.Load(); got != 1 {
+		t.Fatalf("poolWaits = %d for one blocked borrow, want 1", got)
+	}
+	p.put(b.c)
+}
+
+// TestRedialWaitHandsOffAndCountsOnce covers the broken-connection retry
+// path waiting at the cap: a healthy connection returned meanwhile is
+// handed to the waiting redial, which must close it (it specifically needs
+// a fresh dial), reuse its slot, and count exactly one pool wait for the
+// whole call.
+func TestRedialWaitHandsOffAndCountsOnce(t *testing.T) {
+	_, addr := startServerH(t, map[string][]rel.Tuple{"A.r": {{"1", "a"}}})
+	ctrs := &Counters{}
+	p := newPool(addr, ctrs, nil, 0, 1)
+	t.Cleanup(func() { p.close() })
+
+	c, _, err := p.get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type redialed struct {
+		c   *Client
+		err error
+	}
+	got := make(chan redialed, 1)
+	go func() {
+		c2, err2 := p.redial()
+		got <- redialed{c2, err2}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		p.mu.Lock()
+		n := len(p.waiters)
+		p.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("redial never queued at the cap")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.put(c)
+	r := <-got
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if r.c == c {
+		t.Fatal("redial reused the pooled connection instead of dialing fresh")
+	}
+	if got := ctrs.poolWaits.Load(); got != 1 {
+		t.Fatalf("poolWaits = %d for one blocked redial, want 1", got)
+	}
+	p.mu.Lock()
+	active := p.active
+	p.mu.Unlock()
+	if active != 1 {
+		t.Fatalf("active = %d after handoff redial, want 1 (slot accounting drifted)", active)
+	}
+	p.put(r.c)
+}
+
+// TestCloseAbortsBusyBackoff pins the only admission slot with a slow
+// consumer so a concurrent request is shed and enters the busy-retry
+// backoff loop, then closes the executor: the sleeper must surface its
+// busy error promptly instead of retrying against the pinned slot for the
+// rest of its (effectively unbounded) retry budget.
+func TestCloseAbortsBusyBackoff(t *testing.T) {
+	data := rel.NewInstance()
+	// Enough bytes that streaming the scan overflows the loopback socket
+	// buffers: the unread response blocks the server mid-stream, holding
+	// the admission slot for as long as the consumer stalls.
+	row := make(rel.Tuple, 2)
+	row[1] = string(make([]byte, 256))
+	for i := 0; i < 40000; i++ {
+		row[0] = fmt.Sprintf("k%06d", i)
+		if _, err := data.Add("A.big", row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := NewServer(data)
+	srv.MaxInflight = 1
+	srv.MaxQueue = 0
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	slow, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	b, _ := json.Marshal(wire.Request{Op: "scan", Pred: "A.big"})
+	if _, err := slow.Write(append(b, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Stats().Inflight != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow consumer never occupied the slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ex := NewExecutor()
+	t.Cleanup(func() { ex.Close() })
+	ex.BusyRetries = 1 << 20 // never exhausted while the slot stays pinned
+	ex.BusyBackoff = maxBusyBackoff
+	ex.Route("A.big", addr)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- ex.withClient(addr, func(c *Client) error { return c.Ping() })
+	}()
+	// Wait until the caller is inside the retry loop (the counter bumps
+	// just before each backoff sleep), then close under it.
+	for ex.WireStats().BusyRetries == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never shed into the retry loop")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ex.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrBusy) {
+			t.Fatalf("aborted retry returned %v, want ErrBusy", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("withClient still retrying after Close: backoff sleep not aborted")
+	}
+	go io.Copy(io.Discard, slow)
+}

@@ -149,6 +149,11 @@ type Executor struct {
 	gens map[string]genObservation
 	// pools holds one connection pool per peer address. Guarded by mu.
 	pools map[string]*pool
+	// abort interrupts in-flight busy-retry backoff sleeps: Close closes
+	// the current channel (surfacing the busy error to sleepers instead of
+	// pinning shutdown behind seconds of backoff) and installs a fresh one,
+	// since a closed executor stays usable. Guarded by mu.
+	abort chan struct{}
 	// plans is shared by the per-join scratch engines of the FetchAll path.
 	plans *engine.PlanCache
 	// frags caches cross-peer atom fragments across queries.
@@ -171,6 +176,7 @@ func NewExecutor() *Executor {
 		card:  map[string]int{},
 		gens:  map[string]genObservation{},
 		pools: map[string]*pool{},
+		abort: make(chan struct{}),
 		plans: engine.NewPlanCache(256),
 		frags: newFragCache(defaultFragEntries, defaultFragBytes),
 	}
@@ -264,13 +270,18 @@ func (e *Executor) cardOf(pred string) (int, bool) {
 // (aggregated across every pooled connection, past and present).
 func (e *Executor) WireStats() WireStats { return e.counters.Snapshot() }
 
-// Close closes all pooled connections and drops the fragment cache
-// (deleting its spill files). The executor stays usable: later calls dial
-// fresh connections and refill the cache.
+// Close closes all pooled connections, aborts in-flight busy-retry
+// backoff sleeps (their callers see the busy error immediately instead of
+// pinning Close behind up to seconds of backoff), and drops the fragment
+// cache (deleting its spill files). The executor stays usable: later calls
+// dial fresh connections, refill the cache, and retry busy errors as
+// usual.
 func (e *Executor) Close() error {
 	e.mu.Lock()
 	pools := e.pools
 	e.pools = map[string]*pool{}
+	close(e.abort)
+	e.abort = make(chan struct{})
 	e.mu.Unlock()
 	e.frags.clear()
 	var first error
@@ -306,7 +317,9 @@ func (e *Executor) pool(addr string) *pool {
 // request with an in-band busy error. A shed request never started, so the
 // retry is safe for any op; fn may run several times and streaming callers
 // must tolerate re-delivery (the executor's join state dedups remote
-// tuples, which makes replays idempotent).
+// tuples, which makes replays idempotent). Close aborts the backoff sleep:
+// the pending busy error surfaces immediately rather than holding the
+// caller (and shutdown) for the remaining backoff budget.
 func (e *Executor) withClient(addr string, fn func(*Client) error) error {
 	retries := e.BusyRetries
 	switch {
@@ -319,6 +332,12 @@ func (e *Executor) withClient(addr string, fn func(*Client) error) error {
 	if backoff <= 0 {
 		backoff = defaultBusyBackoff
 	}
+	// Captured once at call start: a Close during any later backoff (or
+	// between attempts) of this call closes exactly this channel, while
+	// calls arriving after Close get the replacement and retry as usual.
+	e.mu.Lock()
+	abort := e.abort
+	e.mu.Unlock()
 	var err error
 	for attempt := 0; ; attempt++ {
 		err = e.withClientOnce(addr, fn)
@@ -337,7 +356,13 @@ func (e *Executor) withClient(addr string, fn func(*Client) error) error {
 		if step > maxBusyBackoff {
 			step = maxBusyBackoff
 		}
-		time.Sleep(time.Duration(1 + rand.Int64N(int64(step))))
+		timer := time.NewTimer(time.Duration(1 + rand.Int64N(int64(step))))
+		select {
+		case <-timer.C:
+		case <-abort:
+			timer.Stop()
+			return err
+		}
 	}
 }
 

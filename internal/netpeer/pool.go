@@ -37,9 +37,12 @@ type idleConn struct {
 // The pool bounds *total* connections per address (maxConns), not just
 // idle ones: every open connection holds a slot, and a borrower finding no
 // idle connection either dials (slot free) or waits for one (cap reached,
-// counted in PoolWaits). Slots release when connections close — broken on
-// return, over the idle cap, health-check casualties, or pool shutdown —
-// and each release wakes the oldest waiter.
+// counted in PoolWaits). Waiters are served strict FIFO by direct
+// ownership transfer: a returned connection or a released slot is handed
+// to the oldest waiter while the pool lock is held, never parked where a
+// newly arriving borrower could steal it — wake-and-retry would let
+// arrivals barge past woken waiters indefinitely under sustained
+// contention.
 //
 // Connections idle for at least pingAfter are pinged (a no-op protocol
 // round trip) before being handed out: a connection that died while idle
@@ -60,10 +63,20 @@ type pool struct {
 	maxConns int
 
 	mu      sync.Mutex
-	idle    []idleConn      // guarded by mu
-	active  int             // guarded by mu (open connections: idle + borrowed)
-	waiters []chan struct{} // guarded by mu (FIFO; head woken per released slot or returned conn)
-	closed  bool            // guarded by mu
+	idle    []idleConn   // guarded by mu
+	active  int          // guarded by mu (open connections: idle + borrowed)
+	waiters []chan grant // guarded by mu (FIFO; head handed each returned conn or released slot)
+	closed  bool         // guarded by mu
+}
+
+// grant is what a pool waiter is handed when capacity frees up: a pooled
+// connection (ownership transferred directly, so no later arrival can
+// steal it), a reserved connection slot (active already counts it; the
+// receiver dials, and must releaseSlot on dial failure), or — as the zero
+// value, delivered by closing the channel — notice that the pool closed.
+type grant struct {
+	c    *Client // non-nil: this pooled connection is yours
+	slot bool    // a connection slot is reserved for you; dial it
 }
 
 func newPool(addr string, counters *Counters, onMeta func(preds []string, cards []int, gens []uint64), pingAfter time.Duration, maxConns int) *pool {
@@ -77,11 +90,12 @@ func newPool(addr string, counters *Counters, onMeta func(preds []string, cards 
 // available. An idle connection older than pingAfter is health-checked
 // first; dead ones are dropped (counted in HealthDrops) and the next idle
 // connection — or a fresh dial — is tried instead. With no idle connection
-// and the per-address cap reached, get blocks until a slot frees up.
-// reused reports whether the connection predates this call: a reused
-// connection may still die between the ping and the request, so callers
-// issuing idempotent requests may retry once on a fresh dial (see
-// Executor.withClient).
+// and the per-address cap reached, get blocks until a returned connection
+// or freed slot is handed to it (FIFO; at most one PoolWaits count per
+// call, however long the wait). reused reports whether the connection
+// predates this call: a reused connection may still die between the ping
+// and the request, so callers issuing idempotent requests may retry once
+// on a fresh dial (see Executor.withClient).
 func (p *pool) get() (c *Client, reused bool, err error) {
 	waited := false
 	for {
@@ -116,16 +130,32 @@ func (p *pool) get() (c *Client, reused bool, err error) {
 			}
 			return c, false, nil
 		}
-		// Cap reached and nothing idle: wait for a returned connection or
-		// a released slot, then retry from the top.
-		w := make(chan struct{})
+		// Cap reached and nothing idle: queue for a handed-off connection
+		// or slot. Whatever arrives is already ours — no retry race with
+		// borrowers that show up while we were asleep.
+		w := make(chan grant, 1)
 		p.waiters = append(p.waiters, w)
 		p.mu.Unlock()
 		if !waited {
 			waited = true
 			p.counters.poolWaits.Add(1)
 		}
-		<-w
+		g := <-w
+		switch {
+		case g.c != nil:
+			// Handed straight from a put: it was in use moments ago, so no
+			// idle-age health check applies.
+			return g.c, true, nil
+		case g.slot:
+			c, err = p.dial()
+			if err != nil {
+				p.releaseSlot()
+				return nil, false, err
+			}
+			return c, false, nil
+		default:
+			return nil, false, fmt.Errorf("netpeer: pool for %s is closed", p.addr)
+		}
 	}
 }
 
@@ -143,59 +173,79 @@ func (p *pool) dial() (*Client, error) {
 	return c, nil
 }
 
-// redial acquires a connection slot (waiting under the cap like get) and
-// dials fresh, bypassing the idle list — the broken-reused-connection
-// retry path, where the borrower specifically must not get another stale
-// pooled connection.
+// redial acquires a connection slot (waiting under the cap like get, one
+// PoolWaits count per call) and dials fresh, bypassing the idle list — the
+// broken-reused-connection retry path, where the borrower specifically
+// must not get another stale pooled connection. A pooled connection handed
+// to a waiting redial is closed and its slot reused for the fresh dial.
 func (p *pool) redial() (*Client, error) {
-	for {
-		p.mu.Lock()
-		if p.closed {
-			p.mu.Unlock()
-			return nil, fmt.Errorf("netpeer: pool for %s is closed", p.addr)
-		}
-		if p.active < p.maxConns {
-			p.active++
-			p.mu.Unlock()
-			c, err := p.dial()
-			if err != nil {
-				p.releaseSlot()
-				return nil, err
-			}
-			return c, nil
-		}
-		w := make(chan struct{})
-		p.waiters = append(p.waiters, w)
+	p.mu.Lock()
+	if p.closed {
 		p.mu.Unlock()
-		p.counters.poolWaits.Add(1)
-		<-w
+		return nil, fmt.Errorf("netpeer: pool for %s is closed", p.addr)
 	}
+	if p.active < p.maxConns {
+		p.active++
+		p.mu.Unlock()
+		c, err := p.dial()
+		if err != nil {
+			p.releaseSlot()
+			return nil, err
+		}
+		return c, nil
+	}
+	w := make(chan grant, 1)
+	p.waiters = append(p.waiters, w)
+	p.mu.Unlock()
+	p.counters.poolWaits.Add(1)
+	g := <-w
+	if g.c != nil {
+		// This borrower must not reuse a pooled connection: close the one
+		// handed over and dial fresh on its slot.
+		g.c.Close()
+	} else if !g.slot {
+		return nil, fmt.Errorf("netpeer: pool for %s is closed", p.addr)
+	}
+	c, err := p.dial()
+	if err != nil {
+		p.releaseSlot()
+		return nil, err
+	}
+	return c, nil
 }
 
-// releaseSlot returns one connection slot and wakes the oldest waiter.
+// releaseSlot returns one connection slot, handing it to the oldest waiter
+// if one is queued (the slot stays counted in active for the recipient).
 func (p *pool) releaseSlot() {
 	p.mu.Lock()
 	p.active--
-	p.wakeLocked()
+	if w := p.popWaiterLocked(); w != nil {
+		p.active++
+		p.mu.Unlock()
+		w <- grant{slot: true}
+		return
+	}
 	p.mu.Unlock()
 }
 
-// wakeLocked wakes the oldest waiter, if any. Callers hold p.mu.
-func (p *pool) wakeLocked() {
+// popWaiterLocked dequeues the oldest waiter, or returns nil. Callers hold
+// p.mu.
+func (p *pool) popWaiterLocked() chan grant {
 	if len(p.waiters) == 0 {
-		return
+		return nil
 	}
 	w := p.waiters[0]
 	copy(p.waiters, p.waiters[1:])
 	p.waiters[len(p.waiters)-1] = nil
 	p.waiters = p.waiters[:len(p.waiters)-1]
-	close(w)
+	return w
 }
 
-// put returns a connection for reuse. Broken connections, and any returned
-// after the pool closed or beyond the idle cap, are closed instead (and
-// their slot released); a pooled return wakes the oldest waiter, which
-// will find it on the idle list.
+// put returns a connection for reuse. With a borrower waiting, a healthy
+// connection transfers to it directly (never parked on the idle list where
+// an arrival could steal it); broken connections, and any returned after
+// the pool closed or beyond the idle cap, are closed instead and their
+// slot released (which in turn may hand the slot to a waiter).
 func (p *pool) put(c *Client) {
 	if c == nil {
 		return
@@ -206,14 +256,24 @@ func (p *pool) put(c *Client) {
 		return
 	}
 	p.mu.Lock()
-	if p.closed || len(p.idle) >= maxIdlePerAddr {
+	if p.closed {
+		p.mu.Unlock()
+		c.Close()
+		p.releaseSlot()
+		return
+	}
+	if w := p.popWaiterLocked(); w != nil {
+		p.mu.Unlock()
+		w <- grant{c: c}
+		return
+	}
+	if len(p.idle) >= maxIdlePerAddr {
 		p.mu.Unlock()
 		c.Close()
 		p.releaseSlot()
 		return
 	}
 	p.idle = append(p.idle, idleConn{c: c, since: time.Now()})
-	p.wakeLocked()
 	p.mu.Unlock()
 }
 

@@ -270,3 +270,73 @@ func TestIdleConnectionRedialOnReuse(t *testing.T) {
 		t.Fatalf("rows = %v", rows)
 	}
 }
+
+// TestAddFactConcurrentCreation pins the first-use relation-creation race
+// on the serving side: AddFact (like wire-level adds) runs under the
+// server's read lock, so concurrent adds targeting brand-new predicates
+// race each other — and catalog requests — on the instance's relation map
+// unless rel.Instance serializes creation internally. Before it did, two
+// creators could lose a freshly made relation (dropping tuples) or panic
+// the server with a concurrent map write; under -race this layout reports
+// deterministically.
+func TestAddFactConcurrentCreation(t *testing.T) {
+	srv, addr := startServerH(t, nil)
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		c, err := Dial(addr)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		defer c.Close()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if _, err := c.CatalogStats(); err != nil {
+				t.Errorf("catalog: %v", err)
+				return
+			}
+		}
+	}()
+	const (
+		preds   = 4
+		writers = 8 // per predicate, all racing the first use
+	)
+	var wg sync.WaitGroup
+	for p := 0; p < preds; p++ {
+		pred := fmt.Sprintf("N.p%d", p)
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(val string) {
+				defer wg.Done()
+				if err := srv.AddFact(pred, rel.Tuple{val}); err != nil {
+					t.Errorf("addfact %s(%s): %v", pred, val, err)
+				}
+			}(fmt.Sprintf("v%d", w))
+		}
+	}
+	wg.Wait()
+	close(done)
+	readers.Wait()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cards, err := c.CatalogStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < preds; p++ {
+		pred := fmt.Sprintf("N.p%d", p)
+		if got := cards[pred]; got != writers {
+			t.Fatalf("%s holds %d tuples, want %d (a racing creator's relation was lost)", pred, got, writers)
+		}
+	}
+}

@@ -202,10 +202,13 @@ type Server struct {
 	// ever take the read side. Nothing data-bearing may take the write
 	// lock: a stream holds RLock for its whole response, so one stalled
 	// consumer plus one pending writer would convoy every later reader
-	// behind this write-preferring RWMutex (see handleAdd). Relation
-	// shards self-synchronize, which is what keeps read-side inserts safe.
+	// behind this write-preferring RWMutex (see handleAdd). Read-side
+	// inserts are safe because the instance itself self-synchronizes:
+	// relation shards carry their own locks and rel.Instance serializes
+	// first-use relation creation internally, so this RLock only pins the
+	// instance pointer.
 	mu   sync.RWMutex
-	data *rel.Instance // guarded by mu (all access under RLock; shards self-synchronize)
+	data *rel.Instance // guarded by mu (all access under RLock; instance self-synchronizes)
 	// view is the storage-interface view of data the catalog/meta paths
 	// read; same guard discipline as data.
 	view store.Instance
@@ -307,8 +310,10 @@ func NewServer(data *rel.Instance) *Server {
 }
 
 // AddFact inserts a tuple into a served relation. Inserts self-synchronize
-// at the shard level, so this never waits for (or convoys behind) an
-// in-flight response stream; the read lock only pins the instance pointer.
+// inside the instance — at the shard level for tuples, under rel.Instance's
+// own lock for first-use relation creation — so this never waits for (or
+// convoys behind) an in-flight response stream; the read lock only pins
+// the instance pointer.
 func (s *Server) AddFact(pred string, t rel.Tuple) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -686,9 +691,9 @@ func (s *Server) handleStream(req wire.Request, send func(wire.Response) error) 
 		return spansToWire(root.Export(req.Span))
 	}
 	if req.Op == "add" {
-		// The one mutating op: it needs the write lock, so it branches off
-		// before the read lock the streaming ops hold for their whole
-		// response.
+		// The one mutating op: it manages its own (read-side) locking, so
+		// it branches off before the read lock the streaming ops hold for
+		// their whole response.
 		return s.handleAdd(req, send, exported)
 	}
 	s.mu.RLock()
@@ -815,14 +820,16 @@ func (s *Server) handleStream(req wire.Request, send func(wire.Response) error) 
 // least as new as its own write. A failed row stops the batch; rows before
 // it stay inserted (the in-band error reports how many landed).
 //
-// Inserts deliberately run under the read lock (shards self-synchronize):
-// an exclusive lock here would convoy the whole server behind any stalled
-// response stream — streams hold the read lock end to end, so one slow
-// consumer plus one pending writer would block every later reader on this
-// write-preferring RWMutex for as long as the stall lasts (bounded only by
-// WriteTimeout). Append-only relations keep concurrent streams sound: a
-// stream observes a superset of its start-state and a subset of its
-// end-state, which is exactly right for monotone conjunctive queries.
+// Inserts deliberately run under the read lock (tuple inserts synchronize
+// at the shard level, and rel.Instance internally serializes the map write
+// when a new predicate materializes a relation): an exclusive lock here
+// would convoy the whole server behind any stalled response stream —
+// streams hold the read lock end to end, so one slow consumer plus one
+// pending writer would block every later reader on this write-preferring
+// RWMutex for as long as the stall lasts (bounded only by WriteTimeout).
+// Append-only relations keep concurrent streams sound: a stream observes a
+// superset of its start-state and a subset of its end-state, which is
+// exactly right for monotone conjunctive queries.
 func (s *Server) handleAdd(req wire.Request, send func(wire.Response) error, exported func() []wire.Span) error {
 	if req.Pred == "" {
 		return send(wire.Response{Error: "add: missing pred"})

@@ -331,14 +331,26 @@ func DistinctSorted(groups ...[]Tuple) []Tuple {
 // Instance maps predicate names to relations. The zero value is unusable;
 // use NewInstance. Relations created on first Add inherit the instance's
 // shard count.
+//
+// The relation map self-synchronizes: lookups take the read side of an
+// internal RWMutex and lazy creation (Add on a new predicate) the write
+// side, so concurrent Adds, catalog walks and generation reads are safe
+// without external locking. The lock covers map *membership* only —
+// relation contents self-synchronize at the shard level — so no caller
+// ever holds it across tuple work.
 type Instance struct {
-	rels map[string]*Relation
+	// mu guards the relation map and the hook factory. Creation is the
+	// only write: two concurrent Adds to a fresh predicate must not both
+	// install a relation (one would overwrite — and so lose — the other's
+	// tuples), and a map insert must not race a concurrent reader.
+	mu   sync.RWMutex
+	rels map[string]*Relation // guarded by mu
 	// nshards is the shard count for relations this instance creates
-	// (0 = DefaultShards()).
+	// (0 = DefaultShards()). Immutable after construction.
 	nshards int
 	// hooks, when non-nil, supplies the append hook for every relation the
-	// instance holds or later creates (see SetAppendHook). Installed before
-	// concurrent use; Add reads it without synchronization.
+	// instance holds or later creates (see SetAppendHook). Guarded by mu:
+	// creation paths read it under the write lock they already hold.
 	hooks HookFactory
 }
 
@@ -373,10 +385,13 @@ func (ins *Instance) ShardCount() int {
 // SetAppendHook installs f as the instance's append-hook factory (nil
 // removes it): f is consulted for every relation the instance currently
 // holds and every relation Add creates later. Like Relation.SetAppendHook
-// it must be called before the instance is shared across goroutines.
+// it must be called before the instance is shared across goroutines (the
+// per-relation hook fields are read without synchronization by Insert).
 // Clones and reshards never inherit hooks — they are independent in-memory
 // copies, not views of the journaled instance.
 func (ins *Instance) SetAppendHook(f HookFactory) {
+	ins.mu.Lock()
+	defer ins.mu.Unlock()
 	ins.hooks = f
 	for name, r := range ins.rels {
 		if f == nil {
@@ -392,7 +407,9 @@ func (ins *Instance) SetAppendHook(f HookFactory) {
 // sketches (so generation-keyed caches and planner estimates carry over).
 // The copy carries no append hooks.
 func (ins *Instance) Clone() *Instance {
-	out := NewInstanceSharded(ins.nshards)
+	ins.mu.RLock()
+	defer ins.mu.RUnlock()
+	rels := make(map[string]*Relation, len(ins.rels))
 	for name, r := range ins.rels {
 		nr := NewRelationSharded(name, r.arity, r.NumShards())
 		for i, s := range r.shards {
@@ -419,9 +436,9 @@ func (ins *Instance) Clone() *Instance {
 			s.mu.Unlock()
 			nr.shards[i] = ns
 		}
-		out.rels[name] = nr
+		rels[name] = nr
 	}
-	return out
+	return &Instance{rels: rels, nshards: ins.nshards}
 }
 
 // Reshard returns a copy of ins whose relations are repartitioned over n
@@ -429,9 +446,9 @@ func (ins *Instance) Clone() *Instance {
 // per-shard logs, generations and sketches are rebuilt by reinsertion, so
 // the copy starts a fresh generation history.
 func Reshard(ins *Instance, n int) *Instance {
-	out := NewInstanceSharded(n)
+	rels := map[string]*Relation{}
 	for _, name := range ins.Relations() {
-		r := ins.rels[name]
+		r := ins.Relation(name)
 		nr := NewRelationSharded(name, r.arity, n)
 		for s := range r.shards {
 			for _, t := range r.ShardAddedSince(s, 0) {
@@ -441,20 +458,26 @@ func Reshard(ins *Instance, n int) *Instance {
 				}
 			}
 		}
-		out.rels[name] = nr
+		rels[name] = nr
 	}
-	return out
+	return &Instance{rels: rels, nshards: n}
 }
 
 // Relation returns the named relation, or nil if absent.
-func (ins *Instance) Relation(pred string) *Relation { return ins.rels[pred] }
+func (ins *Instance) Relation(pred string) *Relation {
+	ins.mu.RLock()
+	defer ins.mu.RUnlock()
+	return ins.rels[pred]
+}
 
 // Relations returns the predicate names present, sorted.
 func (ins *Instance) Relations() []string {
+	ins.mu.RLock()
 	out := make([]string, 0, len(ins.rels))
 	for name := range ins.rels {
 		out = append(out, name)
 	}
+	ins.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
@@ -467,7 +490,7 @@ func (ins *Instance) Relations() []string {
 // caches by vectors of these counters so a mutation of one relation
 // invalidates only entries that touch it.
 func (ins *Instance) Gen(pred string) uint64 {
-	if r := ins.rels[pred]; r != nil {
+	if r := ins.Relation(pred); r != nil {
 		return r.Version()
 	}
 	return 0
@@ -476,9 +499,18 @@ func (ins *Instance) Gen(pred string) uint64 {
 // EnsureRelation returns the named relation, creating it empty with the
 // given arity and n hash partitions if absent (n <= 0 selects the
 // instance's shard count). Recovery uses it to rebuild relations with their
-// recorded shard layout regardless of the instance default. Like Add,
-// creation mutates the instance map and requires external synchronization.
+// recorded shard layout regardless of the instance default. Creation is
+// serialized under the instance lock, so concurrent ensurers agree on one
+// relation.
 func (ins *Instance) EnsureRelation(pred string, arity, n int) *Relation {
+	ins.mu.Lock()
+	defer ins.mu.Unlock()
+	return ins.ensureLocked(pred, arity, n)
+}
+
+// ensureLocked returns the named relation, creating it (with its hook, if
+// a factory is installed) when absent. Callers hold ins.mu exclusively.
+func (ins *Instance) ensureLocked(pred string, arity, n int) *Relation {
 	if r, ok := ins.rels[pred]; ok {
 		return r
 	}
@@ -495,16 +527,19 @@ func (ins *Instance) EnsureRelation(pred string, arity, n int) *Relation {
 
 // Add inserts a tuple into pred, creating the relation on first use (with
 // the instance's shard count). It reports whether the tuple was new.
-// Creating a relation mutates the instance's map: like all instance-level
-// mutation it requires external synchronization against concurrent readers.
+// Lookups take the instance lock's read side and first-use creation its
+// write side (double-checked, so racing creators converge on one
+// relation); the tuple insert itself runs outside the instance lock —
+// shards self-synchronize — so concurrent Adds to an existing relation
+// never serialize here.
 func (ins *Instance) Add(pred string, t Tuple) (bool, error) {
+	ins.mu.RLock()
 	r, ok := ins.rels[pred]
+	ins.mu.RUnlock()
 	if !ok {
-		r = NewRelationSharded(pred, len(t), ins.nshards)
-		if ins.hooks != nil {
-			r.SetAppendHook(ins.hooks(pred, r.arity, r.NumShards()))
-		}
-		ins.rels[pred] = r
+		ins.mu.Lock()
+		r = ins.ensureLocked(pred, len(t), ins.nshards)
+		ins.mu.Unlock()
 	}
 	return r.Insert(t)
 }
@@ -519,6 +554,8 @@ func (ins *Instance) MustAdd(pred string, vals ...string) {
 
 // Size returns the total number of tuples across relations.
 func (ins *Instance) Size() int {
+	ins.mu.RLock()
+	defer ins.mu.RUnlock()
 	n := 0
 	for _, r := range ins.rels {
 		n += r.Len()
@@ -530,7 +567,7 @@ func (ins *Instance) Size() int {
 func (ins *Instance) String() string {
 	var sb strings.Builder
 	for _, name := range ins.Relations() {
-		r := ins.rels[name]
+		r := ins.Relation(name)
 		for _, t := range r.Tuples() {
 			sb.WriteString(name)
 			sb.WriteString(t.String())
