@@ -22,6 +22,13 @@
 // stalling -slow-ms per row — with big enough data their backpressure pins
 // admission slots, the production incident the admission gate exists for.
 //
+// With -swarm pointed at a manifest written by 'swarm -serve', the read ops
+// become full distributed queries instead: each one reformulates the
+// swarm's entry query at a local mediator and executes the rewriting across
+// every peer on its reformulation paths, so a deep topology's admission
+// gates all see load. Mutations and slow consumers keep hitting the entry
+// peer directly, and -addr defaults to it.
+//
 // A request shed by the server's admission gate (in-band busy error)
 // counts as "busy", not as a failure; any other error fails the run. With
 // -metrics set, loadgen scrapes the registry snapshot around every stage
@@ -49,6 +56,8 @@ import (
 	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/rel"
+	"repro/internal/swarm"
+	"repro/pdms"
 )
 
 // config is one loadgen run's parameters.
@@ -68,6 +77,17 @@ type config struct {
 	slowPerRow  time.Duration
 	checkShed   bool
 	out         string
+
+	// swarmManifest switches the read ops to full distributed queries
+	// against a served swarm (cmd/swarm -serve): each read reformulates the
+	// swarm's entry query at a local mediator and executes it across the
+	// swarm's peers, so the admission gates of *every* peer on the
+	// reformulation paths see load, not just the front door's. Mutations
+	// and slow consumers keep targeting the entry peer directly.
+	swarmManifest string
+	swarmQuery    string
+	swarmMed      *pdms.Network
+	swarmExec     *netpeer.Executor
 }
 
 // opStats summarizes one op class within one stage. Latencies are from the
@@ -134,7 +154,36 @@ func main() {
 	flag.DurationVar(&cfg.slowPerRow, "slow-ms", 2*time.Millisecond, "per-row stall of each slow consumer")
 	flag.BoolVar(&cfg.checkShed, "check-shed", true, "with -metrics: fail unless the server's shed delta equals observed busy errors")
 	flag.StringVar(&cfg.out, "out", "", "write the JSON report here (always printed to stdout)")
+	flag.StringVar(&cfg.swarmManifest, "swarm", "", "manifest written by 'swarm -serve': read ops become full distributed queries across the served swarm; -addr defaults to the swarm's entry peer")
 	flag.Parse()
+	if cfg.swarmManifest != "" {
+		m, spec, err := swarm.LoadManifest(cfg.swarmManifest)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(2)
+		}
+		if cfg.evalSrc != "" {
+			fmt.Fprintln(os.Stderr, "loadgen: -eval and -swarm are mutually exclusive (the swarm's entry query is the read op)")
+			os.Exit(2)
+		}
+		med, err := pdms.Load(spec.Mediator)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: loading swarm mediator:", err)
+			os.Exit(2)
+		}
+		exec := netpeer.NewExecutor()
+		for _, a := range m.Addrs {
+			if err := exec.Discover(a); err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: discovering swarm peer %s: %v\n", a, err)
+				os.Exit(2)
+			}
+		}
+		defer exec.Close()
+		cfg.swarmQuery, cfg.swarmMed, cfg.swarmExec = m.Query, med, exec
+		if cfg.addr == "" {
+			cfg.addr = m.Entry
+		}
+	}
 	if cfg.addr == "" {
 		fmt.Fprintln(os.Stderr, "loadgen: -addr is required")
 		os.Exit(2)
@@ -322,6 +371,9 @@ func run(cfg config) (*report, error) {
 	if cfg.evalSrc != "" {
 		readOp = "eval " + cfg.evalSrc
 	}
+	if cfg.swarmMed != nil {
+		readOp = "swarm " + cfg.swarmQuery
+	}
 	rep := &report{
 		Bench: 9, Addr: cfg.addr, ReadOp: readOp, Conns: cfg.conns, Seed: cfg.seed,
 		MutateEvery: cfg.mutateEvery, Slow: cfg.slow,
@@ -402,30 +454,36 @@ func runStage(cfg config, clients chan *netpeer.Client, qps float64, opSeq, tota
 		wg.Add(1)
 		go func(fire time.Time, seq uint64, mutate bool) {
 			defer wg.Done()
-			c := <-clients
-			if c == nil {
-				var err error
-				if c, err = netpeer.Dial(cfg.addr); err != nil {
-					clients <- nil
-					firstErr.CompareAndSwap(nil, fmt.Errorf("dial: %w", err))
-					return
-				}
-			}
 			var err error
-			switch {
-			case mutate:
-				_, err = c.Add(cfg.addPred, [][]string{{fmt.Sprintf("w%09d", seq), "x"}})
-			case cfg.evalSrc != "":
-				_, err = c.Eval(cfg.evalCQ)
-			default:
-				_, err = c.Scan(cfg.pred)
+			if !mutate && cfg.swarmMed != nil {
+				// Swarm read: reformulate-and-execute across the peers via
+				// the shared executor (its pools multiplex connections; no
+				// client borrow).
+				_, err = cfg.swarmMed.QueryVia(cfg.swarmQuery, cfg.swarmExec)
+			} else {
+				c := <-clients
+				if c == nil {
+					if c, err = netpeer.Dial(cfg.addr); err != nil {
+						clients <- nil
+						firstErr.CompareAndSwap(nil, fmt.Errorf("dial: %w", err))
+						return
+					}
+				}
+				switch {
+				case mutate:
+					_, err = c.Add(cfg.addPred, [][]string{{fmt.Sprintf("w%09d", seq), "x"}})
+				case cfg.evalSrc != "":
+					_, err = c.Eval(cfg.evalCQ)
+				default:
+					_, err = c.Scan(cfg.pred)
+				}
+				if c.Broken() {
+					c.Close()
+					c = nil
+				}
+				clients <- c
 			}
 			elapsed := time.Since(fire) // open loop: from the scheduled fire time
-			if c.Broken() {
-				c.Close()
-				c = nil
-			}
-			clients <- c
 
 			st, h := &query, queryHist
 			if mutate {

@@ -49,6 +49,16 @@ type catalog struct {
 	// introduces (definitional rule body; inclusion LHS body via the
 	// V-rule).
 	nextPreds map[string][]string
+	// grounds caches the groundability fixpoint (see prune.go): rule-head
+	// predicates derivable from stored relations.
+	grounds map[string]bool
+	// descContent maps each description ID to its canonical content string,
+	// used by duplicate-description pruning (see prune.go).
+	descContent map[string]string
+	// vpredContent maps each minted V-predicate name to its normalized
+	// inclusion's canonical content, so replicated mappings' distinct
+	// V-predicates canonicalize identically in childSig (see prune.go).
+	vpredContent map[string]string
 }
 
 // newCatalog normalizes the PDMS descriptions.
@@ -81,18 +91,22 @@ func newCatalog(n *ppl.PDMS) (*catalog, error) {
 			},
 		})
 		c.recordNext(id, lhs.Body)
+		c.recordVpred(vpred, lhs, rhs)
 	}
 	for _, m := range n.Mappings() {
 		switch m.Kind {
 		case ppl.Inclusion:
 			addInclusion(m.ID, m.LHS, m.RHS)
+			c.recordContent(m.ID, "inc", m.LHS, m.RHS)
 		case ppl.Equality:
 			// Step 1: an equality is the two opposite inclusions.
 			addInclusion(m.ID, m.LHS, m.RHS)
 			addInclusion(m.ID, m.RHS, m.LHS)
+			c.recordContent(m.ID, "eq", m.LHS, m.RHS)
 		case ppl.Definitional:
 			c.addRule(&rule{id: m.ID, cq: m.Rule})
 			c.recordNext(m.ID, m.Rule.Body)
+			c.recordContent(m.ID, "def", m.Rule)
 		}
 	}
 	for _, s := range n.Storages() {
@@ -109,6 +123,7 @@ func newCatalog(n *ppl.PDMS) (*catalog, error) {
 		rhs := s.Query
 		rhs.Head = lang.Atom{Pred: "_store", Args: s.Query.Head.Args}
 		addInclusion(s.ID, lhs, rhs)
+		c.recordContent(s.ID, "store", lhs, rhs)
 	}
 	return c, nil
 }

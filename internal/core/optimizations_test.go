@@ -123,7 +123,10 @@ func TestMemoFiresOnDeadEndWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rOn, err := New(w.PDMS, Options{})
+	// NoPruneSubsumed: the hopeless-predicate prune (prune.go) kills this
+	// workload's dead ends before the memo sees them; disable it so the test
+	// measures the memo in isolation.
+	rOn, err := New(w.PDMS, Options{NoPruneSubsumed: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +134,7 @@ func TestMemoFiresOnDeadEndWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rOff, err := New(w.PDMS, Options{NoMemo: true})
+	rOff, err := New(w.PDMS, Options{NoMemo: true, NoPruneSubsumed: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -84,6 +84,15 @@ type Options struct {
 	// every resulting MCD also covers its (sole) sibling, the sibling's
 	// own expansions are all redundant and are skipped. On by default.
 	NoUselessPath bool
+	// NoPruneSubsumed disables the deep-topology subtree pruning (see
+	// prune.go): hopeless-predicate pruning (a goal whose predicate can
+	// never bottom out in stored relations is marked dead without building
+	// its subtree) and duplicate-description pruning (an expansion whose
+	// originating description is content-identical to an already-built
+	// sibling expansion with the same instantiation is skipped — replicated
+	// mappings make these common). Both prunes leave the extracted rewriting
+	// set unchanged; on by default.
+	NoPruneSubsumed bool
 	// NoPropagateUp disables upward constraint propagation (the paper's
 	// predicate-move-around remark in Section 4.2): comparisons implied by
 	// EVERY expansion of a goal are hoisted into the goal's own label; if
@@ -110,6 +119,8 @@ type Stats struct {
 	GoalNodes      int // goal nodes created
 	RuleNodes      int // rule nodes created
 	PrunedUnsat    int // expansions suppressed by unsatisfiable labels
+	PrunedEmpty    int // expansions skipped over never-groundable predicates
+	PrunedSubsumed int // duplicate-description expansions skipped
 	MemoHits       int // goal expansions skipped by the unproductive-memo
 	DeadEnds       int // goal nodes with no productive expansion
 	UselessSkipped int // subgoals skipped by the useless-path rule
@@ -184,6 +195,8 @@ func (r *Reformulator) build(q lang.CQ) (*node, *builder, error) {
 		sp.SetInt("rule_nodes", int64(b.stats.RuleNodes))
 		sp.SetInt("memo_hits", int64(b.stats.MemoHits))
 		sp.SetInt("pruned_unsat", int64(b.stats.PrunedUnsat))
+		sp.SetInt("pruned_empty", int64(b.stats.PrunedEmpty))
+		sp.SetInt("pruned_subsumed", int64(b.stats.PrunedSubsumed))
 	}
 	return root, b, nil
 }
@@ -349,6 +362,18 @@ func (b *builder) expand(n *node, maxNodes int, sp *obs.Span) bool {
 	}
 	ns := sp.Child("goal", obs.Attr{K: "pred", V: n.label.Pred})
 	defer ns.End()
+	if !b.opts.NoPruneSubsumed && !b.cat.groundableGoal(n.label.Pred) {
+		// No chain of rules and views grounds this predicate in stored
+		// relations: the subtree cannot contribute a rewriting, and no
+		// sibling MCD can cover the goal either (see prune.go). Dead
+		// without expansion.
+		b.stats.PrunedEmpty++
+		n.dead = true
+		b.stats.DeadEnds++
+		ns.Set("dead", "true")
+		ns.Set("pruned", "empty")
+		return false
+	}
 	var key string
 	var restrictedBans map[string]bool
 	if !b.opts.NoMemo {
@@ -377,12 +402,19 @@ func (b *builder) expand(n *node, maxNodes int, sp *obs.Span) bool {
 
 	productive := false
 
+	// seen records signatures of already-built expansions of n for
+	// duplicate-description pruning (nil when disabled).
+	var seen map[string]bool
+	if !b.opts.NoPruneSubsumed {
+		seen = map[string]bool{}
+	}
+
 	// Case 1: definitional expansion (GAV-style).
 	for _, ru := range b.cat.rulesByHead[n.label.Pred] {
 		if !ru.fromInclusion && n.banned[ru.id] {
 			continue
 		}
-		if b.definitionalChild(n, ru, maxNodes, ns) {
+		if b.definitionalChild(n, ru, maxNodes, ns, seen) {
 			productive = true
 		}
 		if b.err != nil {
@@ -407,7 +439,7 @@ func (b *builder) expand(n *node, maxNodes int, sp *obs.Span) bool {
 			continue
 		}
 		for _, mcd := range minicon.Form(goals, selfIdx, required, view, b.vs) {
-			if b.inclusionChild(n, view, mcd, maxNodes, ns) {
+			if b.inclusionChild(n, view, mcd, maxNodes, ns, seen) {
 				productive = true
 			}
 			if b.err != nil {
@@ -490,8 +522,9 @@ func requiredVars(r *node) map[string]bool {
 }
 
 // definitionalChild performs one definitional expansion of goal node n with
-// rule ru; returns productivity of the new subtree.
-func (b *builder) definitionalChild(n *node, ru *rule, maxNodes int, sp *obs.Span) bool {
+// rule ru; returns productivity of the new subtree. seen is the goal's
+// duplicate-description signature set (nil when pruning is disabled).
+func (b *builder) definitionalChild(n *node, ru *rule, maxNodes int, sp *obs.Span, seen map[string]bool) bool {
 	fresh, _ := ru.cq.Rename(b.vs)
 	sigma, ok := lang.Unify(fresh.Head, n.label, nil)
 	if !ok {
@@ -515,6 +548,29 @@ func (b *builder) definitionalChild(n *node, ru *rule, maxNodes int, sp *obs.Spa
 			export[v.Name] = img
 		}
 	}
+	body := make([]lang.Atom, len(fresh.Body))
+	for i, g := range fresh.Body {
+		body[i] = sigma.ApplyAtom(g)
+	}
+	var sig string
+	if seen != nil {
+		for _, ga := range body {
+			if !b.cat.groundableGoal(ga.Pred) {
+				// A subgoal over a never-groundable predicate can neither be
+				// productive nor covered by a sibling MCD (see prune.go):
+				// the whole rule node is hopeless before construction.
+				b.stats.PrunedEmpty++
+				return false
+			}
+		}
+		if s, ok := b.childSig(n, ru.id, body, comps, export, nil); ok {
+			if prod, dup := seen[s]; dup {
+				b.stats.PrunedSubsumed++
+				return prod
+			}
+			sig = s
+		}
+	}
 	rn := &node{
 		id:         b.nextID(),
 		kind:       ruleNode,
@@ -526,8 +582,7 @@ func (b *builder) definitionalChild(n *node, ru *rule, maxNodes int, sp *obs.Spa
 		banned:     banned,
 	}
 	b.stats.RuleNodes++
-	for _, g := range fresh.Body {
-		ga := sigma.ApplyAtom(g)
+	for _, ga := range body {
 		gn := &node{
 			id:         b.nextID(),
 			kind:       goalNode,
@@ -549,17 +604,38 @@ func (b *builder) definitionalChild(n *node, ru *rule, maxNodes int, sp *obs.Spa
 	n.children = append(n.children, rn)
 	// A rule node is productive when every child is stored, productive, or
 	// covered by a sibling's productive inclusion expansion (unc labels).
-	return ruleNodeProductive(rn)
+	prod := ruleNodeProductive(rn)
+	if sig != "" {
+		seen[sig] = prod
+	}
+	return prod
 }
 
 // inclusionChild performs one inclusion expansion of goal node n with the
-// given MCD; returns productivity.
-func (b *builder) inclusionChild(n *node, view *minicon.View, mcd minicon.MCD, maxNodes int, sp *obs.Span) bool {
+// given MCD; returns productivity. seen is the goal's duplicate-description
+// signature set (nil when pruning is disabled).
+func (b *builder) inclusionChild(n *node, view *minicon.View, mcd minicon.MCD, maxNodes int, sp *obs.Span, seen map[string]bool) bool {
 	comps := mcd.Comps
 	constraint := n.constraint.And(constraints.New(comps...))
 	if !b.opts.NoPruneUnsat && len(comps) > 0 && !constraint.Satisfiable() {
 		b.stats.PrunedUnsat++
 		return false
+	}
+	var sig string
+	if seen != nil {
+		if !b.cat.groundableGoal(mcd.Atom.Pred) {
+			// The view's V-predicate never grounds out: the MCD subtree is
+			// hopeless before construction.
+			b.stats.PrunedEmpty++
+			return false
+		}
+		if s, ok := b.childSig(n, view.ID, []lang.Atom{mcd.Atom}, comps, mcd.Export, mcd.Covered); ok {
+			if prod, dup := seen[s]; dup {
+				b.stats.PrunedSubsumed++
+				return prod
+			}
+			sig = s
+		}
 	}
 	banned := extendBan(n.banned, view.ID)
 	rn := &node{
@@ -592,6 +668,9 @@ func (b *builder) inclusionChild(n *node, view *minicon.View, mcd minicon.MCD, m
 	prod := b.expand(gn, maxNodes, rs)
 	rs.End()
 	n.children = append(n.children, rn)
+	if sig != "" {
+		seen[sig] = prod
+	}
 	return prod
 }
 

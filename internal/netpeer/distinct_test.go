@@ -1,0 +1,71 @@
+package netpeer
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/lang"
+	"repro/internal/rel"
+)
+
+// TestPlanOrderUsesDistinctAndFallsBack pins the two halves of the Distinct
+// piggyback contract on the executor's join-order heuristic. With per-column
+// distinct estimates, a bound position's selectivity is 1/distinct — so a
+// low-distinct column stops masquerading as selective and the order flips.
+// Without them (a peer predating the extension), planOrder must degrade to
+// exactly the cardinality-only order of engine.OrderBody.
+func TestPlanOrderUsesDistinctAndFallsBack(t *testing.T) {
+	q := lang.CQ{
+		Head: lang.Atom{Pred: "q", Args: []lang.Term{lang.Var("x"), lang.Var("y")}},
+		Body: []lang.Atom{
+			{Pred: "A.r", Args: []lang.Term{lang.Const("c"), lang.Var("x")}},
+			{Pred: "B.s", Args: []lang.Term{lang.Var("x"), lang.Var("y")}},
+		},
+	}
+	e := NewExecutor()
+	defer e.Close()
+	e.card["A.r"], e.card["B.s"] = 100, 40
+
+	// Cardinality only: A.r's constant earns the uniform 1/8 discount
+	// (cost ~12.6 < 41), so A.r leads — and the order must equal the shared
+	// cardinality-only cost model's.
+	got := e.planOrder(q)
+	want := engine.OrderBody(q.Body, func(pred string) int { return e.card[pred] }, -1)
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("fallback order %v, cardinality-only model says %v", got, want)
+	}
+	if got[0] != 0 {
+		t.Fatalf("cardinality-only order should lead with A.r: %v", got)
+	}
+
+	// A piggybacked distinct estimate of 2 for A.r's constant column makes
+	// the selection nearly worthless (cost ~50 > 41): B.s must lead now.
+	e.dist["A.r"] = []float64{2, 100}
+	if got := e.planOrder(q); got[0] != 1 {
+		t.Fatalf("distinct-aware order should lead with B.s: %v", got)
+	}
+}
+
+// TestDiscoverSeedsDistinctEstimates boots a real server and checks Discover
+// lands per-column distinct estimates the plan can use, refreshed from the
+// catalog op's piggyback.
+func TestDiscoverSeedsDistinctEstimates(t *testing.T) {
+	addr := startServer(t, map[string][]rel.Tuple{
+		"A.r": {{"1", "x"}, {"2", "x"}, {"3", "x"}},
+	})
+	e := NewExecutor()
+	defer e.Close()
+	if err := e.Discover(addr); err != nil {
+		t.Fatal(err)
+	}
+	e.mu.Lock()
+	d := e.dist["A.r"]
+	e.mu.Unlock()
+	if len(d) != 2 {
+		t.Fatalf("discover recorded no distinct estimates: %v", d)
+	}
+	// HLL estimates are approximate but 3-vs-1 on tiny sets is exact.
+	if d[0] < 2.5 || d[0] > 3.5 || d[1] < 0.5 || d[1] > 1.5 {
+		t.Fatalf("distinct estimates off: %v (want ≈[3 1])", d)
+	}
+}

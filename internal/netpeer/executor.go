@@ -139,6 +139,13 @@ type Executor struct {
 	// choice (stale values shift the plan, never the answer). Guarded by
 	// mu.
 	card map[string]int
+	// dist holds per-relation per-column distinct-value estimates, seeded
+	// by Discover and refreshed from the Distinct piggyback on every
+	// response. Like card they only steer the join order (via
+	// engine.OrderBodyStats); relations whose serving peer predates the
+	// Distinct extension are simply absent, and ordering falls back to
+	// cardinality alone. Guarded by mu.
+	dist map[string][]float64
 	// gens holds the latest per-relation generation observed for each
 	// routed relation, with the local time of the observation — refreshed
 	// from the piggyback on every response. Unlike card these carry a
@@ -174,6 +181,7 @@ func NewExecutor() *Executor {
 	return &Executor{
 		addr:  map[string]string{},
 		card:  map[string]int{},
+		dist:  map[string][]float64{},
 		gens:  map[string]genObservation{},
 		pools: map[string]*pool{},
 		abort: make(chan struct{}),
@@ -210,12 +218,14 @@ func (e *Executor) Route(pred, addr string) {
 }
 
 // Discover connects to addr, asks for its catalog, and routes every served
-// relation to it, recording cardinalities for join ordering.
+// relation to it, recording cardinalities (and per-column distinct
+// estimates, when the peer advertises them) for join ordering.
 func (e *Executor) Discover(addr string) error {
 	var cards map[string]int
+	var dists map[string][]float64
 	if err := e.withClient(addr, func(c *Client) error {
-		m, err := c.CatalogStats()
-		cards = m
+		m, d, err := c.CatalogMeta()
+		cards, dists = m, d
 		return err
 	}); err != nil {
 		return err
@@ -225,14 +235,18 @@ func (e *Executor) Discover(addr string) error {
 	for p, n := range cards {
 		e.addr[p] = addr
 		e.card[p] = n
+		if d, ok := dists[p]; ok {
+			e.dist[p] = d
+		}
 	}
 	return nil
 }
 
-// updateMeta folds cardinalities and generations piggybacked on responses
-// into the estimate and observation tables (only for relations already
-// known, so a response cannot invent routes).
-func (e *Executor) updateMeta(preds []string, cards []int, gens []uint64) {
+// updateMeta folds cardinalities, generations and per-column distinct
+// estimates piggybacked on responses into the estimate and observation
+// tables (only for relations already known, so a response cannot invent
+// routes).
+func (e *Executor) updateMeta(preds []string, cards []int, gens []uint64, dists [][]float64) {
 	now := time.Now()
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -242,6 +256,9 @@ func (e *Executor) updateMeta(preds []string, cards []int, gens []uint64) {
 		}
 		if i < len(cards) {
 			e.card[p] = cards[i]
+		}
+		if i < len(dists) && len(dists[i]) > 0 {
+			e.dist[p] = dists[i]
 		}
 		if i < len(gens) {
 			// Generations are monotonic per relation, but responses from
@@ -1054,16 +1071,21 @@ func (e *Executor) evalFetchAll(q lang.CQ) ([]rel.Tuple, error) {
 }
 
 // planOrder orders q's body atoms with the engine planner's greedy
-// selectivity heuristic (engine.OrderBody), feeding it the serving peers'
-// cardinalities (advertised at Discover time, refreshed from responses).
+// selectivity heuristic (engine.OrderBodyStats), feeding it the serving
+// peers' cardinalities and per-column distinct estimates (advertised at
+// Discover time, refreshed from the piggyback on every response). Relations
+// without a distinct advertisement — a peer predating the Distinct
+// extension — get ColStats with a nil Distinct, which OrderBodyStats treats
+// with the uniform per-bound-position discount: exactly the old
+// cardinality-only ordering.
 func (e *Executor) planOrder(q lang.CQ) []int {
-	card := make(map[string]int, len(q.Body))
+	stats := make(map[string]engine.ColStats, len(q.Body))
 	e.mu.Lock()
 	for _, a := range q.Body {
-		card[a.Pred] = e.card[a.Pred]
+		stats[a.Pred] = engine.ColStats{Card: e.card[a.Pred], Distinct: e.dist[a.Pred]}
 	}
 	e.mu.Unlock()
-	return engine.OrderBody(q.Body, func(pred string) int { return card[pred] }, -1)
+	return engine.OrderBodyStats(q.Body, func(pred string) engine.ColStats { return stats[pred] }, -1)
 }
 
 // selName returns a collision-free scratch-relation name for atom a's

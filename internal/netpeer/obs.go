@@ -101,6 +101,7 @@ func (e *Executor) RegisterMetrics(reg *obs.Registry) {
 		em.Counter("dials", ws.Dials)
 		em.Counter("pool_waits", ws.PoolWaits)
 		em.Counter("busy_retries", ws.BusyRetries)
+		em.Counter("distinct_meta", ws.DistinctMeta)
 	})
 	reg.RegisterGroup("fragcache", func(em *obs.Emitter) {
 		fs := e.FragmentStats()

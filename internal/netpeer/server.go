@@ -656,9 +656,10 @@ func (c *chunker) row(t rel.Tuple) error {
 }
 
 // finish emits the final frame: any buffered rows plus the piggybacked
-// cardinalities and generations of the relations the request touched.
-func (c *chunker) finish(preds []string, cards []int, gens []uint64) error {
-	return c.send(wire.Response{Rows: c.rows, Preds: preds, Cards: cards, Gens: gens, Spans: c.spans})
+// cardinalities, generations and per-column distinct estimates of the
+// relations the request touched.
+func (c *chunker) finish(preds []string, cards []int, gens []uint64, dists [][]float64) error {
+	return c.send(wire.Response{Rows: c.rows, Preds: preds, Cards: cards, Gens: gens, Distinct: dists, Spans: c.spans})
 }
 
 // handleStream answers one request as a stream of frames through send. It
@@ -708,27 +709,33 @@ func (s *Server) handleStream(req wire.Request, send func(wire.Response) error) 
 	// logs guarantee the stream carries everything at or before it, and any
 	// extra rows that land mid-stream are true tuples monotone queries
 	// absorb.
-	metaOf := func(preds ...string) ([]string, []int, []uint64) {
+	metaOf := func(preds ...string) ([]string, []int, []uint64, [][]float64) {
 		cards := make([]int, len(preds))
 		gens := make([]uint64, len(preds))
+		dists := make([][]float64, len(preds))
 		for i, p := range preds {
 			if r := s.view.Relation(p); r != nil {
 				cards[i] = r.Len()
 				gens[i] = r.Version()
+				// Per-column distinct estimates from the relation's HLL
+				// column sketches — a join-ordering hint, like Cards.
+				dists[i] = r.Stats().Distinct
 			}
 		}
-		return preds, cards, gens
+		return preds, cards, gens, dists
 	}
 	switch req.Op {
 	case "catalog":
-		preds, cards, gens := metaOf(s.view.Relations()...)
-		return send(wire.Response{Preds: preds, Cards: cards, Gens: gens, Spans: exported()})
+		preds, cards, gens, dists := metaOf(s.view.Relations()...)
+		return send(wire.Response{Preds: preds, Cards: cards, Gens: gens, Distinct: dists, Spans: exported()})
 	case "gens":
 		// The fragment-cache revalidation round trip: tiny and row-free.
 		// Each generation read is individually current; callers compare
 		// them per predicate against cached floors, so no cross-predicate
-		// snapshot is needed.
-		preds, cards, gens := metaOf(req.Preds...)
+		// snapshot is needed. Deliberately no Distinct piggyback: the op
+		// exists to be minimal, and column statistics ride on every other
+		// response anyway.
+		preds, cards, gens, _ := metaOf(req.Preds...)
 		return send(wire.Response{Preds: preds, Cards: cards, Gens: gens, Spans: exported()})
 	case "ping":
 		// Liveness probe for pool health checks; deliberately touches no
@@ -738,7 +745,7 @@ func (s *Server) handleStream(req wire.Request, send func(wire.Response) error) 
 		// StreamScan walks the per-shard insert logs directly: no sort, no
 		// sorted-view materialization, O(chunk) memory end to end. Row order
 		// is per-shard insertion order (unspecified globally).
-		preds, cards, gens := metaOf(req.Pred)
+		preds, cards, gens, dists := metaOf(req.Pred)
 		c := &chunker{send: send}
 		ss := root.Child("scan", obs.Attr{K: "pred", V: req.Pred})
 		err := s.eng.StreamScan(req.Pred, c.row)
@@ -752,7 +759,7 @@ func (s *Server) handleStream(req wire.Request, send func(wire.Response) error) 
 			return send(wire.Response{Error: err.Error()})
 		}
 		c.spans = exported()
-		return c.finish(preds, cards, gens)
+		return c.finish(preds, cards, gens, dists)
 	case "eval":
 		if req.Query == nil {
 			return send(wire.Response{Error: "eval: missing query"})
@@ -769,7 +776,7 @@ func (s *Server) handleStream(req wire.Request, send func(wire.Response) error) 
 				bodyPreds = append(bodyPreds, a.Pred)
 			}
 		}
-		preds, cards, gens := metaOf(bodyPreds...)
+		preds, cards, gens, dists := metaOf(bodyPreds...)
 		c := &chunker{send: send}
 		es := root.Child("eval", obs.Attr{K: "head", V: q.Head.Pred})
 		err = s.eng.StreamCQ(q, c.row)
@@ -785,13 +792,13 @@ func (s *Server) handleStream(req wire.Request, send func(wire.Response) error) 
 			return send(wire.Response{Error: err.Error()})
 		}
 		c.spans = exported()
-		return c.finish(preds, cards, gens)
+		return c.finish(preds, cards, gens, dists)
 	case "bind":
 		pred, cols, keys, err := bindProbeArgs(req)
 		if err != nil {
 			return send(wire.Response{Error: err.Error()})
 		}
-		bindPreds, cards, gens := metaOf(pred)
+		bindPreds, cards, gens, dists := metaOf(pred)
 		c := &chunker{send: send}
 		bs := root.Child("bind", obs.Attr{K: "pred", V: pred})
 		bs.SetInt("keys", int64(len(keys)))
@@ -806,7 +813,7 @@ func (s *Server) handleStream(req wire.Request, send func(wire.Response) error) 
 			return send(wire.Response{Error: err.Error()})
 		}
 		c.spans = exported()
-		return c.finish(bindPreds, cards, gens)
+		return c.finish(bindPreds, cards, gens, dists)
 	default:
 		return send(wire.Response{Error: fmt.Sprintf("unknown op %q", req.Op)})
 	}
@@ -845,15 +852,17 @@ func (s *Server) handleAdd(req wire.Request, send func(wire.Response) error, exp
 	}
 	var cards []int
 	var gens []uint64
+	var dists [][]float64
 	if r := s.view.Relation(req.Pred); r != nil {
 		cards = []int{r.Len()}
 		gens = []uint64{r.Version()}
+		dists = [][]float64{r.Stats().Distinct}
 	}
 	s.mu.RUnlock()
 	if addErr != nil {
 		return send(wire.Response{Error: fmt.Sprintf("add: row %d of %d: %v", inserted, len(req.Rows), addErr)})
 	}
-	return send(wire.Response{Preds: []string{req.Pred}, Cards: cards, Gens: gens, Spans: exported()})
+	return send(wire.Response{Preds: []string{req.Pred}, Cards: cards, Gens: gens, Distinct: dists, Spans: exported()})
 }
 
 // bindProbeArgs validates one bind request and lowers it to a probe: the
@@ -940,6 +949,7 @@ type Counters struct {
 	dials         atomic.Uint64
 	poolWaits     atomic.Uint64
 	busyRetries   atomic.Uint64
+	distinctMeta  atomic.Uint64
 }
 
 // WireStats is a snapshot of client-side wire counters.
@@ -976,6 +986,11 @@ type WireStats struct {
 	// BusyRetries counts requests re-sent after the peer shed them with an
 	// in-band busy error (each retry waits out a jittered backoff first).
 	BusyRetries uint64
+	// DistinctMeta counts final frames whose metadata piggyback carried
+	// per-column distinct estimates — nonzero means the serving peers speak
+	// the Distinct extension and the executor's join ordering is running on
+	// column statistics rather than cardinality alone.
+	DistinctMeta uint64
 }
 
 // Snapshot returns the current counter values.
@@ -993,6 +1008,7 @@ func (ct *Counters) Snapshot() WireStats {
 		Dials:                ct.dials.Load(),
 		PoolWaits:            ct.poolWaits.Load(),
 		BusyRetries:          ct.busyRetries.Load(),
+		DistinctMeta:         ct.distinctMeta.Load(),
 	}
 }
 
@@ -1020,10 +1036,12 @@ type Client struct {
 	// counters, when non-nil, aggregates this client's traffic (set by the
 	// executor's pool so all pooled connections share one Counters).
 	counters *Counters
-	// onMeta, when non-nil, receives the cardinalities and generations
-	// piggybacked on final response frames (set by the executor's pool so
-	// estimates and generation observations refresh continuously).
-	onMeta func(preds []string, cards []int, gens []uint64)
+	// onMeta, when non-nil, receives the cardinalities, generations and
+	// per-column distinct estimates piggybacked on final response frames
+	// (set by the executor's pool so estimates and generation observations
+	// refresh continuously). dists is nil when the serving peer predates
+	// the Distinct extension.
+	onMeta func(preds []string, cards []int, gens []uint64, dists [][]float64)
 	// tapMeta, when non-nil, additionally receives the same piggyback for
 	// the duration of one logical call — the executor installs it around a
 	// fragment fetch to stamp the cached fragment with the generation its
@@ -1137,8 +1155,11 @@ func (c *Client) readStream(onRows func([][]string) error) (wire.Response, error
 		}
 		if !resp.More {
 			if len(resp.Preds) > 0 {
+				if c.counters != nil && len(resp.Distinct) > 0 {
+					c.counters.distinctMeta.Add(1)
+				}
 				if c.onMeta != nil {
-					c.onMeta(resp.Preds, resp.Cards, resp.Gens)
+					c.onMeta(resp.Preds, resp.Cards, resp.Gens, resp.Distinct)
 				}
 				if c.tapMeta != nil {
 					c.tapMeta(resp.Preds, resp.Gens)
@@ -1209,19 +1230,31 @@ func (c *Client) Catalog() ([]string, error) {
 // current cardinalities (estimates for join ordering; they may go stale
 // without affecting correctness).
 func (c *Client) CatalogStats() (map[string]int, error) {
+	cards, _, err := c.CatalogMeta()
+	return cards, err
+}
+
+// CatalogMeta is CatalogStats plus the per-column distinct estimates the
+// peer advertises (nil per relation when the peer predates the Distinct
+// extension) — both are join-ordering hints, never correctness inputs.
+func (c *Client) CatalogMeta() (map[string]int, map[string][]float64, error) {
 	resp, err := c.roundTrip(wire.Request{Op: "catalog"})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	out := make(map[string]int, len(resp.Preds))
+	cards := make(map[string]int, len(resp.Preds))
+	dists := make(map[string][]float64, len(resp.Preds))
 	for i, p := range resp.Preds {
 		if i < len(resp.Cards) {
-			out[p] = resp.Cards[i]
+			cards[p] = resp.Cards[i]
 		} else {
-			out[p] = 0
+			cards[p] = 0
+		}
+		if i < len(resp.Distinct) && len(resp.Distinct[i]) > 0 {
+			dists[p] = resp.Distinct[i]
 		}
 	}
-	return out, nil
+	return cards, dists, nil
 }
 
 // Gens asks the peer for the current generation (monotonic insert counter)

@@ -1,0 +1,266 @@
+// Package swarm is an in-process many-peer topology harness: it generates
+// a peer data management system whose mapping graph has a chosen shape
+// (chain, star, small world), boots one loopback netpeer server per peer,
+// and drives entry-peer queries through the full pipeline — rule-goal-tree
+// reformulation at a spec-only mediator, then distributed execution across
+// the peer servers — measuring reformulation fan-out, pruning effect, wire
+// traffic and answer latency as functions of peer count and depth.
+//
+// The generated network deliberately contains the two kinds of waste the
+// core pruner (internal/core, Options.NoPruneSubsumed) removes:
+//
+//   - Replicated mappings: edges near the entry are emitted Replication
+//     times. The copies are content-identical, so the pruned build expands
+//     one and skips the rest (Stats.PrunedSubsumed); the unpruned build
+//     explores every copy's subtree, multiplying node counts by up to
+//     Replication^DupDepth.
+//   - Decoy branches: some peers map in a relation no peer stores or
+//     derives. The pruned build refuses the expansion outright
+//     (Stats.PrunedEmpty); the unpruned build expands it and discovers the
+//     dead end the slow way. The entry peer always carries one decoy so
+//     the hopeless-prune counter is exercised on every topology and seed.
+//
+// A swarm is fully deterministic in its Params (seeded rand), so the
+// differential corpus can replay any failure from its parameter tuple.
+package swarm
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/rel"
+)
+
+// Params configures one generated swarm.
+type Params struct {
+	// Peers is the total number of peers, entry included (≥ 2).
+	Peers int
+	// Topology is the mapping-graph shape (Chain, Star, SmallWorld).
+	Topology Topology
+	// Replication is how many content-identical copies of each near-entry
+	// mapping are emitted (≥ 1; 1 means no duplicates). Copies beyond the
+	// first are pure reformulation waste: they change no answers, and the
+	// pruned build skips them.
+	Replication int
+	// DupDepth bounds which edges are replicated: only those whose child
+	// lies within this BFS depth of the entry. Bounding the duplicated
+	// prefix keeps the *unpruned* tree polynomial (factor
+	// Replication^DupDepth) so pruned-vs-unpruned differentials stay
+	// feasible at hundreds of peers.
+	DupDepth int
+	// Shortcuts is the number of random forward shortcut edges added to
+	// the chain backbone (SmallWorld only).
+	Shortcuts int
+	// StoreCoverage is the probability a peer stores data locally (0..1].
+	// Peers without a store still relay semantically; a subtree with no
+	// stores anywhere is a hopeless region the pruner cuts. The deepest
+	// peer always stores, so full-depth reformulation is always needed,
+	// and each storeless peer grows a decoy branch (see package comment).
+	StoreCoverage float64
+	// FactsPerStore is how many distinct tuples each storing peer holds.
+	FactsPerStore int
+	// DomainSize is the constant pool size ("v0" .. "v<n-1>"); small
+	// domains make peers' data overlap so joins and distinct-counts bite.
+	DomainSize int
+	// QueryLen is the number of entry-relation atoms in the driven query,
+	// chained head-to-tail (1 = a single atom). Lengths above 1 multiply
+	// rewriting fan-out combinatorially; keep small at large peer counts.
+	QueryLen int
+	// Seed drives all randomness (topology shortcuts, store placement,
+	// facts). Same Params ⇒ same swarm, byte for byte.
+	Seed int64
+}
+
+// fill validates p and applies defaults for zero fields.
+func (p Params) fill() (Params, error) {
+	if p.Peers == 0 {
+		p.Peers = 16
+	}
+	if p.Replication == 0 {
+		p.Replication = 2
+	}
+	if p.DupDepth == 0 {
+		p.DupDepth = 3
+	}
+	if p.Shortcuts == 0 {
+		p.Shortcuts = 3
+	}
+	if p.StoreCoverage == 0 {
+		p.StoreCoverage = 0.75
+	}
+	if p.FactsPerStore == 0 {
+		p.FactsPerStore = 8
+	}
+	if p.DomainSize == 0 {
+		p.DomainSize = 16
+	}
+	if p.QueryLen == 0 {
+		p.QueryLen = 1
+	}
+	switch {
+	case p.Peers < 2:
+		return p, fmt.Errorf("swarm: Peers must be ≥ 2, got %d", p.Peers)
+	case p.Replication < 1:
+		return p, fmt.Errorf("swarm: Replication must be ≥ 1, got %d", p.Replication)
+	case p.DupDepth < 0 || p.Shortcuts < 0:
+		return p, fmt.Errorf("swarm: DupDepth and Shortcuts must be ≥ 0")
+	case p.StoreCoverage < 0 || p.StoreCoverage > 1:
+		return p, fmt.Errorf("swarm: StoreCoverage must be in (0, 1], got %g", p.StoreCoverage)
+	case p.FactsPerStore < 1:
+		return p, fmt.Errorf("swarm: FactsPerStore must be ≥ 1, got %d", p.FactsPerStore)
+	case p.DomainSize < 1:
+		return p, fmt.Errorf("swarm: DomainSize must be ≥ 1, got %d", p.DomainSize)
+	case p.QueryLen < 1:
+		return p, fmt.Errorf("swarm: QueryLen must be ≥ 1, got %d", p.QueryLen)
+	}
+	return p, nil
+}
+
+// Spec is one fully generated swarm: the mapping-graph structure, the PPL
+// mediator specification (no facts — those live at the peers), and the
+// per-peer data. Everything downstream (Boot, Oracle) derives from it.
+type Spec struct {
+	Params Params
+	// Edges is the directed mapping graph (before replication).
+	Edges []Edge
+	// Depths[i] is peer i's BFS hop distance from the entry; Depth is the
+	// maximum — the reformulation depth needed to cover the whole swarm.
+	Depths []int
+	Depth  int
+	// Stored[i] reports whether peer i stores data (relation PeerStored(i)).
+	Stored []bool
+	// Decoy[i] reports whether peer i maps in a storeless decoy relation.
+	Decoy []bool
+	// Mediator is the PPL specification text: peer relations, mappings and
+	// storage descriptions, but no facts. Load it into the entry mediator.
+	Mediator string
+	// Facts[i] holds peer i's stored tuples (empty slice when !Stored[i]).
+	Facts [][]rel.Tuple
+	// Query is the entry-peer query driven through the swarm.
+	Query string
+}
+
+// PeerRel returns peer i's virtual relation name ("P<i>:R").
+func PeerRel(i int) string { return fmt.Sprintf("P%d:R", i) }
+
+// PeerStored returns peer i's stored relation name ("P<i>.store").
+func PeerStored(i int) string { return fmt.Sprintf("P%d.store", i) }
+
+// decoyRel returns peer i's decoy relation name; nothing ever stores or
+// derives it, so every reformulation path into it is hopeless.
+func decoyRel(i int) string { return fmt.Sprintf("X%d:R", i) }
+
+// Generate builds a deterministic swarm spec from p. The entry peer is
+// peer 0; see the package comment for what the generated network contains.
+func Generate(p Params) (*Spec, error) {
+	p, err := p.fill()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	s := &Spec{Params: p}
+	s.Edges = topologyEdges(p.Topology, p.Peers, p.Shortcuts, rng)
+	s.Depths, s.Depth = bfsDepths(p.Peers, s.Edges)
+
+	// Store placement: coverage-weighted coin per peer, with the deepest
+	// peer forced on so reaching full depth is always worth it.
+	deepest := 0
+	s.Stored = make([]bool, p.Peers)
+	for i := range s.Stored {
+		s.Stored[i] = rng.Float64() < p.StoreCoverage
+		if s.Depths[i] > s.Depths[deepest] {
+			deepest = i
+		}
+	}
+	s.Stored[deepest] = true
+
+	// Decoy placement: every storeless peer grows one, and the entry peer
+	// always does, so PrunedEmpty fires deterministically.
+	s.Decoy = make([]bool, p.Peers)
+	for i := range s.Decoy {
+		s.Decoy[i] = !s.Stored[i]
+	}
+	s.Decoy[0] = true
+
+	var b strings.Builder
+	for _, e := range s.Edges {
+		copies := 1
+		if s.Depths[e.Child] <= p.DupDepth {
+			copies = p.Replication
+		}
+		for c := 0; c < copies; c++ {
+			fmt.Fprintf(&b, "include %s(x, y) in %s(x, y)\n", PeerRel(e.Child), PeerRel(e.Parent))
+		}
+	}
+	for i := 0; i < p.Peers; i++ {
+		if s.Stored[i] {
+			fmt.Fprintf(&b, "storage %s(x, y) in %s(x, y)\n", PeerStored(i), PeerRel(i))
+		}
+		if s.Decoy[i] {
+			fmt.Fprintf(&b, "include %s(x, y) in %s(x, y)\n", decoyRel(i), PeerRel(i))
+		}
+	}
+	s.Mediator = b.String()
+
+	// Facts: distinct random pairs over the shared constant pool. The pool
+	// is shared across peers so different stores' tuples collide and chain.
+	s.Facts = make([][]rel.Tuple, p.Peers)
+	limit := p.DomainSize * p.DomainSize
+	for i := 0; i < p.Peers; i++ {
+		if !s.Stored[i] {
+			continue
+		}
+		want := p.FactsPerStore
+		if want > limit {
+			want = limit
+		}
+		seen := map[[2]int]bool{}
+		for len(s.Facts[i]) < want {
+			k := [2]int{rng.Intn(p.DomainSize), rng.Intn(p.DomainSize)}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			s.Facts[i] = append(s.Facts[i], rel.Tuple{
+				fmt.Sprintf("v%d", k[0]), fmt.Sprintf("v%d", k[1]),
+			})
+		}
+	}
+
+	// Query: a chain of QueryLen entry-relation atoms, x0 — xLen.
+	var q strings.Builder
+	fmt.Fprintf(&q, "q(x0, x%d) :- ", p.QueryLen)
+	for a := 0; a < p.QueryLen; a++ {
+		if a > 0 {
+			q.WriteString(", ")
+		}
+		fmt.Fprintf(&q, "%s(x%d, x%d)", PeerRel(0), a, a+1)
+	}
+	s.Query = q.String()
+	return s, nil
+}
+
+// OracleSource returns the single-process oracle's PPL text: the mediator
+// specification plus every peer's facts as local fact statements. A network
+// loaded from it answers Spec.Query with all data in one engine — the
+// ground truth the distributed swarm must match.
+func (s *Spec) OracleSource() string {
+	var b strings.Builder
+	b.WriteString(s.Mediator)
+	for i, ts := range s.Facts {
+		for _, t := range ts {
+			fmt.Fprintf(&b, "fact %s(%q, %q)\n", PeerStored(i), t[0], t[1])
+		}
+	}
+	return b.String()
+}
+
+// SortAnswers sorts tuples lexicographically in place and returns them —
+// both query paths already return sorted distinct answers, but differential
+// tests should not depend on that.
+func SortAnswers(ts []rel.Tuple) []rel.Tuple {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Key() < ts[j].Key() })
+	return ts
+}

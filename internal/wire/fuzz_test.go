@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"math"
 	"testing"
 )
 
@@ -73,6 +74,100 @@ func FuzzReadFrame(f *testing.F) {
 			t.Fatalf("clean read did not reconstruct input:\n got %q\nwant %q", rebuilt, data)
 		}
 	})
+}
+
+// legacyResponse mirrors Response as compiled before the Distinct (and, for
+// good measure, Spans) piggyback fields existed. Decoding into it simulates
+// a client running the old binary.
+type legacyResponse struct {
+	Error string     `json:"error,omitempty"`
+	Busy  bool       `json:"busy,omitempty"`
+	Rows  [][]string `json:"rows,omitempty"`
+	More  bool       `json:"more,omitempty"`
+	Preds []string   `json:"preds,omitempty"`
+	Cards []int      `json:"cards,omitempty"`
+	Gens  []uint64   `json:"gens,omitempty"`
+}
+
+// FuzzDistinctPiggyback pins the compatibility contract of the Distinct
+// response field in both directions. New server → old client: a frame
+// carrying Distinct must decode losslessly into the pre-Distinct Response
+// shape (unknown fields are skipped, nothing else is disturbed). Old server
+// → new client: a frame without the field must decode with Distinct nil —
+// the executor's explicit cardinality-only fallback signal — even when the
+// frame carries fields newer still. And the field itself must round-trip
+// exactly for every finite estimate a sketch can produce.
+func FuzzDistinctPiggyback(f *testing.F) {
+	f.Add("A.r", 7, uint64(3), 4.0, 2.5, "future")
+	f.Add("", 0, uint64(0), 0.0, -1.0, "")
+	f.Add("B.s", -1, uint64(1<<63), 1e18, 0.25, `{"x":1}`)
+	f.Fuzz(func(t *testing.T, pred string, card int, gen uint64, d0, d1 float64, future string) {
+		resp := Response{
+			Preds:    []string{pred, pred + "2"},
+			Cards:    []int{card, card + 1},
+			Gens:     []uint64{gen, gen + 1},
+			Distinct: [][]float64{{d0, d1}, nil},
+		}
+		data, err := json.Marshal(resp)
+		if err != nil {
+			// encoding/json refuses non-finite floats; nothing else here
+			// can fail.
+			if isFinite(d0) && isFinite(d1) {
+				t.Fatalf("marshal failed on finite input: %v", err)
+			}
+			return
+		}
+		// Round trip through the new decoder.
+		var back Response
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("new client rejects new server frame: %v", err)
+		}
+		if len(back.Distinct) != 2 || len(back.Distinct[0]) != 2 ||
+			back.Distinct[0][0] != d0 || back.Distinct[0][1] != d1 {
+			t.Fatalf("distinct did not round-trip: %v", back.Distinct)
+		}
+		// New server → old client: the legacy shape must take the frame and
+		// keep every pre-existing field.
+		var old legacyResponse
+		if err := json.Unmarshal(data, &old); err != nil {
+			t.Fatalf("old client rejects new server frame: %v", err)
+		}
+		// Compare strings against the decoded frame, not the raw fuzz input:
+		// Marshal itself replaces invalid UTF-8 with U+FFFD on the way out.
+		if len(old.Preds) != 2 || old.Preds[0] != back.Preds[0] || old.Cards[0] != card || old.Gens[0] != gen {
+			t.Fatalf("piggyback disturbed legacy fields: %+v", old)
+		}
+		// Old server → new client: re-encode the legacy shape (no distinct
+		// key) with a field from the future bolted on; the new decoder must
+		// accept it and report Distinct absent.
+		oldData, err := json.Marshal(old)
+		if err != nil {
+			t.Fatal(err)
+		}
+		withFuture, err := json.Marshal(struct {
+			legacyResponse
+			Future string `json:"zzFromTheFuture,omitempty"`
+		}{old, future})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, frame := range [][]byte{oldData, withFuture} {
+			var fresh Response
+			if err := json.Unmarshal(frame, &fresh); err != nil {
+				t.Fatalf("new client rejects old server frame %q: %v", frame, err)
+			}
+			if fresh.Distinct != nil {
+				t.Fatalf("distinct invented from %q: %v", frame, fresh.Distinct)
+			}
+			if len(fresh.Preds) != 2 || fresh.Preds[0] != back.Preds[0] || fresh.Cards[0] != card || fresh.Gens[0] != gen {
+				t.Fatalf("old frame lost fields: %+v", fresh)
+			}
+		}
+	})
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
 // FuzzRequestDecode feeds arbitrary bytes through the request frame

@@ -110,6 +110,10 @@ type Options struct {
 	DisableMemo     bool
 	DisablePruning  bool
 	DisablePriority bool
+	// DisableSubsumePruning switches off the deep-topology rule-goal-subtree
+	// pruning (hopeless-predicate and duplicate-description expansion
+	// pruning; core prune.go) — for pruned-vs-unpruned differential testing.
+	DisableSubsumePruning bool
 	// KeepRedundant keeps rewritings subsumed by others.
 	KeepRedundant bool
 	// Shards is the hash-partition count for stored relations (0 = one
@@ -129,12 +133,13 @@ type Options struct {
 
 func (o Options) core() core.Options {
 	return core.Options{
-		MaxNodes:      o.MaxNodes,
-		MaxRewritings: o.MaxRewritings,
-		NoMemo:        o.DisableMemo,
-		NoPruneUnsat:  o.DisablePruning,
-		NoPriority:    o.DisablePriority,
-		KeepRedundant: o.KeepRedundant,
+		MaxNodes:        o.MaxNodes,
+		MaxRewritings:   o.MaxRewritings,
+		NoMemo:          o.DisableMemo,
+		NoPruneUnsat:    o.DisablePruning,
+		NoPriority:      o.DisablePriority,
+		NoPruneSubsumed: o.DisableSubsumePruning,
+		KeepRedundant:   o.KeepRedundant,
 	}
 }
 
